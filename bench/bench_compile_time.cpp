@@ -1,0 +1,71 @@
+// Compilation-time scaling (§7.1.1 / §7.3): our mappers are analytical —
+// compile time is the time to *write out* the linear-size-in-gates circuit —
+// versus SABRE whose per-instance routing time grows quickly. google-benchmark
+// timings; one benchmark per backend plus SABRE reference points.
+#include <benchmark/benchmark.h>
+
+#include "arch/heavy_hex.hpp"
+#include "arch/lattice_surgery.hpp"
+#include "arch/sycamore.hpp"
+#include "baseline/sabre.hpp"
+#include "circuit/qft_spec.hpp"
+#include "mapper/heavy_hex_mapper.hpp"
+#include "mapper/lattice_mapper.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "mapper/sycamore_mapper.hpp"
+
+namespace {
+
+using namespace qfto;
+
+void BM_MapLnn(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft_lnn(n));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_MapLnn)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MapHeavyHex(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft_heavy_hex(n));
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_MapHeavyHex)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_MapSycamore(benchmark::State& state) {
+  const std::int32_t m = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft_sycamore(m));
+  }
+  state.counters["qubits"] = m * m;
+}
+BENCHMARK(BM_MapSycamore)->Arg(6)->Arg(16)->Arg(32);
+
+void BM_MapLattice(benchmark::State& state) {
+  const std::int32_t m = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft_lattice(m));
+  }
+  state.counters["qubits"] = m * m;
+}
+BENCHMARK(BM_MapLattice)->Arg(10)->Arg(20)->Arg(32);
+
+void BM_SabreRoute(benchmark::State& state) {
+  const std::int32_t m = static_cast<std::int32_t>(state.range(0));
+  const CouplingGraph g = make_lattice_surgery_full(m);
+  const Circuit qft = qft_logical(m * m);
+  SabreOptions opts;
+  opts.trials = 1;
+  opts.bidirectional_passes = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sabre_route(qft, g, opts));
+  }
+  state.counters["qubits"] = m * m;
+}
+BENCHMARK(BM_SabreRoute)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace

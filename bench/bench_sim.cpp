@@ -1,0 +1,73 @@
+// State-vector simulator throughput — the substrate behind every
+// equivalence check ("we write an open-source simulator to check the
+// correctness of our outcome", §7). Reports gates/second over the mapped
+// LNN QFT at several register sizes, plus per-gate-kind microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include "circuit/qft_spec.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qfto;
+
+void BM_SimQftLogical(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  const Circuit c = qft_logical(n);
+  for (auto _ : state) {
+    StateVector sv(n);
+    sv.apply(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.size()));
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_SimQftLogical)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_SimQftMappedLnn(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  const MappedCircuit mc = map_qft_lnn(n);
+  for (auto _ : state) {
+    StateVector sv(n);
+    sv.apply(mc.circuit);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mc.circuit.size()));
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_SimQftMappedLnn)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GateH(benchmark::State& state) {
+  StateVector sv(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(Gate::h(3));
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateH)->Arg(16)->Arg(20);
+
+void BM_GateCPhase(benchmark::State& state) {
+  StateVector sv(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(Gate::cphase(2, 7, 0.3));
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateCPhase)->Arg(16)->Arg(20);
+
+void BM_GateSwap(benchmark::State& state) {
+  StateVector sv(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(Gate::swap(1, 9));
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GateSwap)->Arg(16)->Arg(20);
+
+}  // namespace

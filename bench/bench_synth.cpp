@@ -1,0 +1,53 @@
+// Program-synthesis cost (Appendices 5 & 7): time to enumerate the affine
+// hole space against the all-pairs-meet specification, for both cross-link
+// families. The search is milliseconds — the paper's point that structured
+// templates tame the otherwise huge mapping search space.
+#include <benchmark/benchmark.h>
+
+#include "synth/inter_unit_spec.hpp"
+
+namespace {
+
+using namespace qfto;
+
+void BM_SynthSycamorePattern(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  const Sketch sketch = make_travel_path_sketch();
+  for (auto _ : state) {
+    auto sols = sketch.solve_all([&](const HoleAssignment& a) {
+      return travel_path_coverage(L, CrossLinkFamily::kOffsetByOne,
+                                  decode_travel_path(a)) >= 1.0;
+    });
+    benchmark::DoNotOptimize(sols.size());
+  }
+  state.counters["line_len"] = L;
+}
+BENCHMARK(BM_SynthSycamorePattern)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SynthGridPattern(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  const Sketch sketch = make_travel_path_sketch();
+  for (auto _ : state) {
+    auto sols = sketch.solve_all([&](const HoleAssignment& a) {
+      return travel_path_coverage(L, CrossLinkFamily::kEqualPosition,
+                                  decode_travel_path(a)) >= 1.0;
+    });
+    benchmark::DoNotOptimize(sols.size());
+  }
+  state.counters["line_len"] = L;
+}
+BENCHMARK(BM_SynthGridPattern)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CoverageCheckOnly(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  TravelPathParams p;
+  p.phase_b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        travel_path_coverage(L, CrossLinkFamily::kEqualPosition, p));
+  }
+  state.counters["line_len"] = L;
+}
+BENCHMARK(BM_CoverageCheckOnly)->Arg(16)->Arg(64);
+
+}  // namespace

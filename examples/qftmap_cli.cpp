@@ -1,0 +1,171 @@
+// qftmap — command-line QFT kernel compiler.
+//
+//   qftmap --arch lnn       --n 64            [--out kernel.qasm]
+//   qftmap --arch heavyhex  --n 50
+//   qftmap --arch sycamore  --m 6   [--strict-ie]
+//   qftmap --arch lattice   --m 12  [--synced]
+//   qftmap --arch grid      --m 8
+//   ... [--aqft K] [--cnot-basis] [--quiet]
+//
+// Compiles the QFT for the chosen backend, verifies it (static checker;
+// simulation too when small enough), prints the resource report, and
+// optionally writes OpenQASM 2.0.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "arch/heavy_hex.hpp"
+#include "arch/lattice_surgery.hpp"
+#include "arch/latency_model.hpp"
+#include "arch/line.hpp"
+#include "arch/grid.hpp"
+#include "arch/sycamore.hpp"
+#include "circuit/transforms.hpp"
+#include "common/timer.hpp"
+#include "mapper/heavy_hex_mapper.hpp"
+#include "mapper/lattice_mapper.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "mapper/sycamore_mapper.hpp"
+#include "qasm/qasm.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/qft_checker.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --arch {lnn|heavyhex|sycamore|lattice|grid} "
+      "(--n N | --m M) [--out FILE] [--strict-ie] [--synced] [--aqft K] "
+      "[--cnot-basis] [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qfto;
+  std::string arch, out_path;
+  std::int32_t n = -1, m = -1, aqft = -1;
+  bool strict_ie = false, synced = false, cnot_basis = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (a == "--arch") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      arch = v;
+    } else if (a == "--n") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      n = std::atoi(v);
+    } else if (a == "--m") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      m = std::atoi(v);
+    } else if (a == "--aqft") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      aqft = std::atoi(v);
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      out_path = v;
+    } else if (a == "--strict-ie") {
+      strict_ie = true;
+    } else if (a == "--synced") {
+      synced = true;
+    } else if (a == "--cnot-basis") {
+      cnot_basis = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (arch.empty()) return usage(argv[0]);
+
+  try {
+    WallTimer timer;
+    MappedCircuit mc;
+    CouplingGraph graph;
+    LatencyFn latency = unit_latency;
+    if (arch == "lnn") {
+      if (n <= 0) return usage(argv[0]);
+      mc = map_qft_lnn(n);
+      graph = make_line(n);
+    } else if (arch == "heavyhex") {
+      if (n <= 0) return usage(argv[0]);
+      mc = map_qft_heavy_hex(n);
+      graph = make_heavy_hex(heavy_hex_layout(n));
+    } else if (arch == "sycamore") {
+      if (m <= 0) return usage(argv[0]);
+      mc = map_qft_sycamore(m, strict_ie);
+      graph = make_sycamore(m);
+    } else if (arch == "lattice") {
+      if (m <= 0) return usage(argv[0]);
+      LatticeMapperOptions opts;
+      opts.strict_ie = strict_ie;
+      if (synced) opts.phase_offset = 0;
+      mc = map_qft_lattice(m, opts);
+      graph = make_lattice_surgery_rotated(m);
+    } else if (arch == "grid") {
+      if (m <= 0) return usage(argv[0]);
+      LatticeMapperOptions opts;
+      opts.strict_ie = strict_ie;
+      if (synced) opts.phase_offset = 0;
+      mc = map_qft_grid2d(m, opts);
+      graph = make_grid(m, m);
+    } else {
+      return usage(argv[0]);
+    }
+    const double compile_s = timer.seconds();
+    if (arch == "lattice") latency = lattice_latency(graph);
+
+    const auto check = check_qft_mapping(mc, graph, latency);
+    if (!check.ok) {
+      std::fprintf(stderr, "INTERNAL ERROR — verification failed: %s\n",
+                   check.error.c_str());
+      return 1;
+    }
+    double sim_err = -1.0;
+    if (mc.num_physical() <= 14) sim_err = mapped_equivalence_error(mc);
+
+    if (aqft > 0) mc.circuit = prune_small_rotations(mc.circuit, aqft);
+    if (cnot_basis) mc.circuit = decompose_to_cnot(mc.circuit);
+
+    if (!quiet) {
+      std::printf("backend        : %s (%d physical qubits)\n",
+                  graph.name().c_str(), graph.num_qubits());
+      std::printf("depth          : %lld cycles (%.2f per qubit)\n",
+                  static_cast<long long>(check.depth),
+                  static_cast<double>(check.depth) / graph.num_qubits());
+      std::printf("gates          : %s\n", check.counts.to_string().c_str());
+      std::printf("compile time   : %.4f s\n", compile_s);
+      if (sim_err >= 0) std::printf("simulation err : %.2e\n", sim_err);
+      if (aqft > 0 || cnot_basis) {
+        std::printf("post-transform : %s\n",
+                    count_gates(mc.circuit).to_string().c_str());
+      }
+    }
+    if (!out_path.empty()) {
+      std::ofstream f(out_path);
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      f << to_qasm(mc);
+      if (!quiet) std::printf("wrote          : %s\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,92 @@
+// Quantum Phase Estimation — the paper's flagship near-term consumer of the
+// QFT kernel (Fig. 1). We estimate the eigenphase of U = RZ(2*pi*phi) on a
+// 10-qubit heavy-hex device (N multiple of 5) whose counting register runs
+// the *hardware-mapped inverse QFT* produced by our heavy-hex mapper.
+//
+// Circuit: counting register in uniform superposition, controlled-U^{2^j}
+// phase kicks (CPHASE gates between counting qubit j and the eigenstate
+// qubit), then the inverse QFT and readout of the most likely outcome.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "arch/heavy_hex.hpp"
+#include "circuit/inverse.hpp"
+#include "mapper/heavy_hex_mapper.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace qfto;
+  constexpr std::int32_t counting = 10;  // heavy-hex size (multiple of 5)
+  const double phi = 0.314159;           // phase to estimate, in [0,1)
+
+  // Hardware inverse QFT for the counting register: map the forward kernel
+  // analytically, then invert it (reverse + conjugate) — linear depth and
+  // hardware compliance carry over verbatim.
+  const MappedCircuit fwd = map_qft_heavy_hex(counting);
+  const MappedCircuit inv_qft = inverse_mapped(fwd);
+
+  // State preparation on the physical register. The eigenstate qubit of QPE
+  // only contributes a phase kick exp(2*pi*i*phi*2^j) per counting qubit j,
+  // so we prepare the kicked product state directly (standard QPE algebra)
+  // and let the mapped inverse QFT do all the quantum work.
+  const std::int32_t np = inv_qft.num_physical();
+  StateVector sv(np);
+  auto& amps = sv.amplitudes();
+  amps.assign(amps.size(), Amplitude{0.0, 0.0});
+  const std::uint64_t dim = std::uint64_t{1} << counting;
+  const double norm = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    // Counting qubit j controls U^{2^j}: the register accumulates the phase
+    // exp(2*pi*i * phi * x). Our kernel convention returns the result
+    // bit-reversed, undone at readout below.
+    double phase = 0.0;
+    for (std::int32_t j = 0; j < counting; ++j) {
+      if (x & (std::uint64_t{1} << j)) {
+        phase += 2.0 * M_PI * phi * std::pow(2.0, j);
+      }
+    }
+    // Embed logical x through the inverse kernel's *initial* mapping.
+    std::uint64_t idx = 0;
+    for (std::int32_t j = 0; j < counting; ++j) {
+      if (x & (std::uint64_t{1} << j)) idx |= std::uint64_t{1} << inv_qft.initial[j];
+    }
+    amps[idx] = std::polar(norm, phase);
+  }
+
+  sv.apply(inv_qft.circuit);
+
+  // Read out through the final mapping; the peak encodes round(phi * 2^n).
+  std::uint64_t best = 0;
+  double best_p = -1.0;
+  for (std::uint64_t y = 0; y < dim; ++y) {
+    std::uint64_t idx = 0;
+    for (std::int32_t j = 0; j < counting; ++j) {
+      if (y & (std::uint64_t{1} << j)) {
+        idx |= std::uint64_t{1} << inv_qft.final_mapping[j];
+      }
+    }
+    const double p = std::norm(sv.amplitudes()[idx]);
+    if (p > best_p) {
+      best_p = p;
+      best = y;
+    }
+  }
+  // Outcome bits arrive most-significant-first in our convention.
+  std::uint64_t rev = 0;
+  for (std::int32_t j = 0; j < counting; ++j) {
+    if (best & (std::uint64_t{1} << j)) rev |= std::uint64_t{1} << (counting - 1 - j);
+  }
+  const double estimate = static_cast<double>(rev) / static_cast<double>(dim);
+  const double err = std::min(std::abs(estimate - phi),
+                              1.0 - std::abs(estimate - phi));
+
+  std::printf("QPE with hardware-mapped inverse QFT on heavy-hex-%d\n", counting);
+  std::printf("  true phase      : %.6f\n", phi);
+  std::printf("  estimate        : %.6f  (outcome %llu / %llu, prob %.3f)\n",
+              estimate, static_cast<unsigned long long>(rev),
+              static_cast<unsigned long long>(dim), best_p);
+  std::printf("  |error|         : %.6f (resolution 1/%llu = %.6f)\n", err,
+              static_cast<unsigned long long>(dim), 1.0 / dim);
+  return err <= 1.0 / dim ? 0 : 1;
+}

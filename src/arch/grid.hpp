@@ -1,0 +1,17 @@
+// Rectangular grid with axial (horizontal/vertical) couplers. Used for the
+// Appendix-7 2×N / 2D-grid patterns and as a generic baseline topology.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+
+namespace qfto {
+
+/// rows × cols grid, node id = r * cols + c, axial edges only.
+CouplingGraph make_grid(std::int32_t rows, std::int32_t cols);
+
+inline PhysicalQubit grid_node(std::int32_t r, std::int32_t c,
+                               std::int32_t cols) {
+  return r * cols + c;
+}
+
+}  // namespace qfto

@@ -1,0 +1,27 @@
+#include "arch/latency_model.hpp"
+
+namespace qfto {
+
+LatencyFn nisq_latency() {
+  return [](const Gate&) -> Cycle { return 1; };
+}
+
+LatencyFn lattice_latency(const CouplingGraph& g) {
+  return [&g](const Gate& gate) -> Cycle {
+    if (!gate.two_qubit()) return 1;
+    const auto type = g.link_type(gate.q0, gate.q1);
+    const bool fast = type.has_value() && *type == LinkType::kFast;
+    switch (gate.kind) {
+      case GateKind::kSwap:
+        return fast ? kLsFastSwapDepth : kLsSlowSwapDepth;
+      case GateKind::kCnot:
+        return kLsCnotDepth;
+      case GateKind::kCPhase:
+        return kLsCphaseDepth;
+      default:
+        return 1;
+    }
+  };
+}
+
+}  // namespace qfto

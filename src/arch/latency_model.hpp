@@ -1,0 +1,28 @@
+// Per-gate latency models (§2.3). NISQ backends count one cycle per gate.
+// Lattice surgery is heterogeneous: a CNOT (or CPHASE, realized at the same
+// cost) takes 2 cycles on any link; a SWAP takes 2 cycles on a fast
+// (diagonal-tile) link but 3 CNOTs = 6 cycles on a CNOT-only (axial) link.
+// Single-qubit gates take one cycle.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+#include "circuit/scheduler.hpp"
+
+namespace qfto {
+
+/// Every gate costs one cycle — the paper's NISQ "step" count.
+LatencyFn nisq_latency();
+
+/// Lattice-surgery weighted latency. The returned callable holds a reference
+/// to `g`; the graph must outlive it. Gates on non-edges (never produced by
+/// our mappers; possible for baselines evaluated leniently) are charged the
+/// slow-link cost.
+LatencyFn lattice_latency(const CouplingGraph& g);
+
+/// Latency constants, exposed for tests and documentation.
+inline constexpr Cycle kLsCnotDepth = 2;
+inline constexpr Cycle kLsCphaseDepth = 2;
+inline constexpr Cycle kLsFastSwapDepth = 2;
+inline constexpr Cycle kLsSlowSwapDepth = 6;
+
+}  // namespace qfto

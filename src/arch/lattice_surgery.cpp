@@ -1,0 +1,50 @@
+#include "arch/lattice_surgery.hpp"
+
+namespace qfto {
+
+CouplingGraph make_lattice_surgery_full(std::int32_t m) {
+  require(m >= 2, "make_lattice_surgery_full: m >= 2");
+  const LatticeLayout lay{m};
+  CouplingGraph g("lattice-full-" + std::to_string(m) + "x" +
+                      std::to_string(m),
+                  m * m);
+  for (std::int32_t r = 0; r < m; ++r) {
+    for (std::int32_t c = 0; c < m; ++c) {
+      if (c + 1 < m) {
+        g.add_edge(lay.node(r, c), lay.node(r, c + 1), LinkType::kCnotOnly);
+      }
+      if (r + 1 < m) {
+        g.add_edge(lay.node(r, c), lay.node(r + 1, c), LinkType::kCnotOnly);
+        if (c + 1 < m) {
+          g.add_edge(lay.node(r, c), lay.node(r + 1, c + 1), LinkType::kFast);
+        }
+        if (c - 1 >= 0) {
+          g.add_edge(lay.node(r, c), lay.node(r + 1, c - 1), LinkType::kFast);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+CouplingGraph make_lattice_surgery_rotated(std::int32_t m) {
+  require(m >= 2, "make_lattice_surgery_rotated: m >= 2");
+  const LatticeLayout lay{m};
+  CouplingGraph g("lattice-rot-" + std::to_string(m) + "x" + std::to_string(m),
+                  m * m);
+  for (std::int32_t r = 0; r < m; ++r) {
+    for (std::int32_t c = 0; c < m; ++c) {
+      // Row-internal links are the fast (diagonal-tile) family.
+      if (c + 1 < m) {
+        g.add_edge(lay.node(r, c), lay.node(r, c + 1), LinkType::kFast);
+      }
+      // Between rows only CNOT-only links survive the rotation.
+      if (r + 1 < m) {
+        g.add_edge(lay.node(r, c), lay.node(r + 1, c), LinkType::kCnotOnly);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace qfto

@@ -1,0 +1,30 @@
+// Surface-code lattice-surgery model (§2.3, §6).
+//
+// Two views of the same device:
+//  * `make_lattice_surgery_full(m)`  — the Fig. 5(b) data-qubit graph with
+//    both link families (axial + diagonal), uniform cost. This is what the
+//    baselines (SABRE / LNN) are allowed to use, per §7.2 ("all links are
+//    used for both baselines").
+//  * `make_lattice_surgery_rotated(m)` — the Fig. 15(a) rotated view our
+//    mapper uses: within a row the links are the *fast* diagonal family
+//    (SWAP depth 2), between rows only the CNOT-only links remain
+//    (SWAP = 3 CNOTs = depth 6); the redundant edges are eliminated.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+
+namespace qfto {
+
+struct LatticeLayout {
+  std::int32_t m = 0;  // grid side; N = m*m
+
+  std::int32_t num_qubits() const { return m * m; }
+  PhysicalQubit node(std::int32_t row, std::int32_t col) const {
+    return row * m + col;
+  }
+};
+
+CouplingGraph make_lattice_surgery_full(std::int32_t m);
+CouplingGraph make_lattice_surgery_rotated(std::int32_t m);
+
+}  // namespace qfto

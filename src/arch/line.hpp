@@ -1,0 +1,10 @@
+// Linear-nearest-neighbor (LNN) topology: qubit i couples to i±1.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+
+namespace qfto {
+
+CouplingGraph make_line(std::int32_t n);
+
+}  // namespace qfto

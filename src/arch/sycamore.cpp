@@ -1,0 +1,38 @@
+#include "arch/sycamore.hpp"
+
+namespace qfto {
+
+CouplingGraph make_sycamore(std::int32_t m) {
+  require(m >= 2 && m % 2 == 0, "make_sycamore: m must be even and >= 2");
+  const SycamoreLayout lay{m};
+  CouplingGraph g("sycamore-" + std::to_string(m) + "x" + std::to_string(m),
+                  m * m);
+  for (std::int32_t r = 0; r + 1 < m; ++r) {
+    const bool intra_unit = (r % 2 == 0);
+    for (std::int32_t c = 0; c < m; ++c) {
+      if (intra_unit) {
+        // Upper row r to lower row r+1 inside one unit: same column plus the
+        // diagonal that closes the zigzag line (lower c to upper c+1).
+        g.add_edge(lay.node(r, c), lay.node(r + 1, c));
+        if (c + 1 < m) g.add_edge(lay.node(r + 1, c), lay.node(r, c + 1));
+      } else {
+        // Lower row of unit u (line positions 2c+1) to upper row of unit u+1
+        // (line positions 2c'): linked iff the *line* positions differ by
+        // exactly one (§5 / Fig. 13(b)), i.e. c' = c or c' = c+1. There is
+        // never a link between equal line positions (they have equal parity).
+        g.add_edge(lay.node(r, c), lay.node(r + 1, c));
+        if (c + 1 < m) g.add_edge(lay.node(r, c), lay.node(r + 1, c + 1));
+      }
+    }
+  }
+  return g;
+}
+
+bool sycamore_cross_link(std::int32_t pa, std::int32_t pb) {
+  // pa in unit u's line coordinates (odd = lower row), pb in unit u+1's
+  // (even = upper row): linked iff the line positions differ by one.
+  if (pa % 2 == 0 || pb % 2 != 0) return false;
+  return pb == pa - 1 || pb == pa + 1;
+}
+
+}  // namespace qfto

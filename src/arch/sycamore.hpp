@@ -1,0 +1,45 @@
+// Google Sycamore model (§5). The paper views the m×m diagonal grid through
+// its unit decomposition: every two consecutive rows form a *unit* whose 2m
+// qubits lie on a line under the diagonal couplers (Fig. 12); adjacent units
+// are joined by diagonal links between the lower row of one unit and the
+// upper row of the next, present exactly when the *line positions* differ by
+// one (Fig. 13(b)/24) — in particular there is no link between equal line
+// positions, which is what makes the synced travel path non-trivial and
+// forces the paper's fix-up for "same column" pairs.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+
+namespace qfto {
+
+struct SycamoreLayout {
+  std::int32_t m = 0;  // grid side; the paper evaluates even m
+
+  std::int32_t num_qubits() const { return m * m; }
+  std::int32_t num_units() const { return m / 2; }
+  /// Qubits per unit; they form a physical line (zigzag through two rows).
+  std::int32_t unit_len() const { return 2 * m; }
+
+  /// Physical node id at grid coordinates.
+  PhysicalQubit node(std::int32_t row, std::int32_t col) const {
+    return row * m + col;
+  }
+
+  /// Physical node at line-position `pos` (0..2m-1) of unit `unit`.
+  /// Even positions sit on the unit's upper row, odd on the lower row.
+  PhysicalQubit unit_pos(std::int32_t unit, std::int32_t pos) const {
+    const std::int32_t row = 2 * unit + (pos % 2);
+    const std::int32_t col = pos / 2;
+    return node(row, col);
+  }
+};
+
+/// Builds the coupling graph described above. Requires even m >= 2.
+CouplingGraph make_sycamore(std::int32_t m);
+
+/// Cross-unit adjacency in *line coordinates*: position `pa` of unit u is
+/// linked to position `pb` of unit u+1 iff pa is odd (lower row) and
+/// |pa - pb| == 1 (so pb is even, on the upper row of the next unit).
+bool sycamore_cross_link(std::int32_t pa, std::int32_t pb);
+
+}  // namespace qfto

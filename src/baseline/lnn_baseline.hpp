@@ -1,0 +1,22 @@
+// LNN baseline (§7, Fig. 19): run the linear-depth LNN QFT along a
+// Hamiltonian path of the device, ignoring link heterogeneity — exactly what
+// the paper criticizes in §2.3. On lattice surgery the snake path uses the
+// slow axial links, so its *weighted* depth loses badly to the unit-aware
+// mapper even though its step count matches the LNN law.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+/// Runs the LNN QFT pattern along `path` (consecutive nodes must be coupled
+/// in `g`; the path must visit every logical qubit's node).
+MappedCircuit map_qft_on_path(const CouplingGraph& g,
+                              const std::vector<PhysicalQubit>& path);
+
+/// Row-major boustrophedon over the m×m lattice (axial links only — valid in
+/// both the full and the rotated lattice-surgery graphs).
+std::vector<PhysicalQubit> lattice_snake_path(std::int32_t m);
+
+}  // namespace qfto

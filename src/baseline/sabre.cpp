@@ -1,0 +1,261 @@
+#include "baseline/sabre.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "circuit/dag.hpp"
+#include "circuit/scheduler.hpp"
+#include "circuit/stats.hpp"
+#include "common/prng.hpp"
+#include "verify/mapping_tracker.hpp"
+
+namespace qfto {
+
+namespace {
+
+struct SwapCandidate {
+  PhysicalQubit a;
+  PhysicalQubit b;
+};
+
+// One full routing pass. When `emit` is false only the final mapping is
+// produced (used by the bidirectional initial-mapping refinement).
+struct PassResult {
+  Circuit circuit;
+  std::vector<PhysicalQubit> final_mapping;
+  std::int64_t swaps = 0;
+};
+
+PassResult route_pass(const Circuit& logical, const Dag& dag,
+                      const CouplingGraph& g,
+                      const std::vector<PhysicalQubit>& initial,
+                      Xoshiro256ss& rng, const SabreOptions& opts, bool emit) {
+  const std::int32_t n = logical.num_qubits();
+  const auto& dist = g.distance_matrix();
+  MappingTracker map(initial, g.num_qubits());
+
+  std::vector<std::int32_t> indeg(dag.size(), 0);
+  for (const auto& ss : dag.succ) {
+    for (auto s : ss) ++indeg[s];
+  }
+  std::vector<std::int32_t> front;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    if (indeg[i] == 0) front.push_back(static_cast<std::int32_t>(i));
+  }
+
+  PassResult out;
+  out.circuit = Circuit(g.num_qubits());
+  std::vector<double> decay(n, 1.0);
+  std::int32_t swaps_since_reset = 0;
+  std::size_t executed = 0;
+
+  auto resolve = [&](std::int32_t gi) {
+    for (auto s : dag.succ[gi]) {
+      if (--indeg[s] == 0) front.push_back(s);
+    }
+  };
+
+  auto gate_dist = [&](const Gate& gate, PhysicalQubit sa, PhysicalQubit sb) {
+    // Distance of `gate` under the hypothetical swap of nodes sa<->sb.
+    auto pos = [&](LogicalQubit l) {
+      PhysicalQubit p = map.physical_of(l);
+      if (p == sa) return sb;
+      if (p == sb) return sa;
+      return p;
+    };
+    return dist[pos(gate.q0)][pos(gate.q1)];
+  };
+
+  const std::int64_t swap_cap =
+      1000 + 64 * static_cast<std::int64_t>(dag.size()) *
+                 std::max<std::int32_t>(1, g.num_qubits() / 8);
+
+  while (executed < dag.size()) {
+    // Execute everything executable in the front layer.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t fi = 0; fi < front.size();) {
+        const std::int32_t gi = front[fi];
+        const Gate& gate = logical[gi];
+        const bool runnable =
+            !gate.two_qubit() ||
+            g.adjacent(map.physical_of(gate.q0), map.physical_of(gate.q1));
+        if (runnable) {
+          if (emit) {
+            Gate hw = gate;
+            hw.q0 = map.physical_of(gate.q0);
+            if (gate.two_qubit()) hw.q1 = map.physical_of(gate.q1);
+            out.circuit.append(hw);
+          }
+          front[fi] = front.back();
+          front.pop_back();
+          resolve(gi);
+          ++executed;
+          progress = true;
+        } else {
+          ++fi;
+        }
+      }
+    }
+    if (front.empty()) break;
+
+    // Blocked: choose a SWAP. Candidates touch a front-layer qubit.
+    std::vector<SwapCandidate> cands;
+    for (auto gi : front) {
+      const Gate& gate = logical[gi];
+      for (LogicalQubit l : {gate.q0, gate.q1}) {
+        const PhysicalQubit p = map.physical_of(l);
+        for (PhysicalQubit nb : g.neighbors(p)) cands.push_back({p, nb});
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const auto& x, const auto& y) {
+      return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+    });
+    cands.erase(std::unique(cands.begin(), cands.end(),
+                            [](const auto& x, const auto& y) {
+                              return x.a == y.a && x.b == y.b;
+                            }),
+                cands.end());
+
+    // Extended set: the next few two-qubit gates past the front layer.
+    std::vector<std::int32_t> extended;
+    {
+      std::vector<std::int32_t> indeg_copy;
+      std::vector<std::int32_t> queue = front;
+      for (std::size_t head = 0;
+           head < queue.size() &&
+           static_cast<std::int32_t>(extended.size()) < opts.extended_size;
+           ++head) {
+        for (auto s : dag.succ[queue[head]]) {
+          if (logical[s].two_qubit()) extended.push_back(s);
+          queue.push_back(s);
+          if (static_cast<std::int32_t>(extended.size()) >= opts.extended_size)
+            break;
+        }
+      }
+    }
+
+    double best = 1e300;
+    std::vector<const SwapCandidate*> best_set;
+    for (const auto& cand : cands) {
+      double basic = 0.0;
+      std::int32_t f2 = 0;
+      for (auto gi : front) {
+        const Gate& gate = logical[gi];
+        if (!gate.two_qubit()) continue;
+        basic += gate_dist(gate, cand.a, cand.b);
+        ++f2;
+      }
+      if (f2 > 0) basic /= f2;
+      double ext = 0.0;
+      if (!extended.empty()) {
+        for (auto gi : extended) ext += gate_dist(logical[gi], cand.a, cand.b);
+        ext /= static_cast<double>(extended.size());
+      }
+      const LogicalQubit la = map.logical_at(cand.a);
+      const LogicalQubit lb = map.logical_at(cand.b);
+      const double da = la == kInvalidQubit ? 1.0 : decay[la];
+      const double db = lb == kInvalidQubit ? 1.0 : decay[lb];
+      const double score =
+          std::max(da, db) * (basic + opts.extended_weight * ext);
+      if (score < best - 1e-12) {
+        best = score;
+        best_set.assign(1, &cand);
+      } else if (score <= best + 1e-12) {
+        best_set.push_back(&cand);
+      }
+    }
+    require(!best_set.empty(), "sabre: no swap candidates on connected graph");
+    const SwapCandidate& chosen =
+        *best_set[rng.uniform(best_set.size())];
+
+    if (emit) out.circuit.append(Gate::swap(chosen.a, chosen.b));
+    const LogicalQubit la = map.logical_at(chosen.a);
+    const LogicalQubit lb = map.logical_at(chosen.b);
+    map.apply_swap(chosen.a, chosen.b);
+    if (la != kInvalidQubit) decay[la] += opts.decay_delta;
+    if (lb != kInvalidQubit) decay[lb] += opts.decay_delta;
+    if (++swaps_since_reset >= opts.decay_reset) {
+      std::fill(decay.begin(), decay.end(), 1.0);
+      swaps_since_reset = 0;
+    }
+    if (++out.swaps > swap_cap) {
+      throw std::logic_error("sabre: swap cap exceeded — routing diverged");
+    }
+  }
+
+  out.final_mapping = map.logical_to_physical();
+  return out;
+}
+
+Circuit reversed(const Circuit& c) {
+  Circuit r(c.num_qubits());
+  for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it) r.append(*it);
+  return r;
+}
+
+std::vector<PhysicalQubit> random_injection(std::int32_t n, std::int32_t p,
+                                            Xoshiro256ss& rng) {
+  std::vector<PhysicalQubit> nodes(p);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  for (std::int32_t i = p - 1; i > 0; --i) {
+    std::swap(nodes[i], nodes[rng.uniform(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  nodes.resize(n);
+  return nodes;
+}
+
+}  // namespace
+
+MappedCircuit sabre_route_single(const Circuit& logical, const CouplingGraph& g,
+                                 std::uint64_t seed,
+                                 const SabreOptions& opts) {
+  require(logical.num_qubits() <= g.num_qubits(),
+          "sabre: more logical qubits than physical");
+  require(g.connected(), "sabre: coupling graph must be connected");
+  const Dag dag =
+      opts.use_relaxed_dag ? build_relaxed_dag(logical) : build_strict_dag(logical);
+  Xoshiro256ss rng(seed);
+  std::vector<PhysicalQubit> initial =
+      random_injection(logical.num_qubits(), g.num_qubits(), rng);
+
+  const Circuit rev = reversed(logical);
+  const Dag rev_dag =
+      opts.use_relaxed_dag ? build_relaxed_dag(rev) : build_strict_dag(rev);
+  for (std::int32_t pass = 0; pass < opts.bidirectional_passes; ++pass) {
+    initial = route_pass(logical, dag, g, initial, rng, opts, false).final_mapping;
+    initial = route_pass(rev, rev_dag, g, initial, rng, opts, false).final_mapping;
+  }
+
+  PassResult res = route_pass(logical, dag, g, initial, rng, opts, true);
+  MappedCircuit mc;
+  mc.circuit = std::move(res.circuit);
+  mc.initial = std::move(initial);
+  mc.final_mapping = std::move(res.final_mapping);
+  return mc;
+}
+
+MappedCircuit sabre_route(const Circuit& logical, const CouplingGraph& g,
+                          const SabreOptions& opts) {
+  require(opts.trials >= 1, "sabre: trials >= 1");
+  std::optional<MappedCircuit> best;
+  Cycle best_depth = 0;
+  std::int64_t best_swaps = 0;
+  for (std::int32_t t = 0; t < opts.trials; ++t) {
+    MappedCircuit mc =
+        sabre_route_single(logical, g, opts.seed + 7919ull * t, opts);
+    const Cycle depth = circuit_depth(mc.circuit);
+    const std::int64_t swaps = count_gates(mc.circuit).swap;
+    if (!best || depth < best_depth ||
+        (depth == best_depth && swaps < best_swaps)) {
+      best = std::move(mc);
+      best_depth = depth;
+      best_swaps = swaps;
+    }
+  }
+  return std::move(*best);
+}
+
+}  // namespace qfto

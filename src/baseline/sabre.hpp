@@ -1,0 +1,39 @@
+// SABRE (Li, Ding, Xie — ASPLOS'19), reimplemented as the paper's primary
+// baseline. Heuristic SWAP insertion with a front layer, a look-ahead
+// extended set, and a decay term that spreads SWAPs across qubits; the
+// initial mapping is refined with forward/backward passes, and the whole
+// procedure is repeated over random seeds keeping the best result — which is
+// exactly why its output varies run to run (Fig. 27).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/coupling_graph.hpp"
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+struct SabreOptions {
+  std::uint64_t seed = 1;
+  std::int32_t trials = 5;            // independent random restarts
+  std::int32_t bidirectional_passes = 2;  // initial-mapping refinement sweeps
+  double extended_weight = 0.5;       // W in the look-ahead term
+  std::int32_t extended_size = 20;    // |E|
+  double decay_delta = 0.001;
+  std::int32_t decay_reset = 5;       // SWAPs between decay resets
+  bool use_relaxed_dag = false;       // ablation: give SABRE commutativity
+};
+
+/// Routes `logical` onto `g`. The circuit may contain any gate kinds; only
+/// two-qubit gates constrain routing.
+MappedCircuit sabre_route(const Circuit& logical, const CouplingGraph& g,
+                          const SabreOptions& opts = {});
+
+/// One fixed-seed pass (no restarts/refinement) — exposes the raw randomness
+/// for the Fig. 27 reproduction.
+MappedCircuit sabre_route_single(const Circuit& logical, const CouplingGraph& g,
+                                 std::uint64_t seed,
+                                 const SabreOptions& opts = {});
+
+}  // namespace qfto

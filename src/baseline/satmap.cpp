@@ -1,0 +1,277 @@
+#include "baseline/satmap.hpp"
+
+#include <algorithm>
+
+#include "circuit/dag.hpp"
+#include "circuit/stats.hpp"
+#include "common/timer.hpp"
+#include "sat/cardinality.hpp"
+#include "sat/solver.hpp"
+
+namespace qfto {
+
+namespace {
+
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+
+struct Encoding {
+  // map_var[t][l][p], exec_var[t][i], sched_var[t][i] (prefix of exec).
+  std::vector<std::vector<std::vector<std::int32_t>>> map_var;
+  std::vector<std::vector<std::int32_t>> exec_var;
+  std::vector<std::vector<std::int32_t>> sched_var;
+  std::vector<std::int32_t> move_vars;  // one per (t, edge) when counting
+};
+
+Encoding build(Solver& s, const Circuit& logical, const CouplingGraph& g,
+               std::int32_t layers, std::int32_t swap_budget) {
+  const std::int32_t n = logical.num_qubits();
+  const std::int32_t np = g.num_qubits();
+  const std::int32_t ng = static_cast<std::int32_t>(logical.size());
+  const std::int32_t tmax = layers;  // time steps 0..tmax (inclusive)
+
+  Encoding e;
+  e.map_var.assign(tmax + 1, {});
+  for (std::int32_t t = 0; t <= tmax; ++t) {
+    e.map_var[t].assign(n, std::vector<std::int32_t>(np));
+    for (std::int32_t l = 0; l < n; ++l) {
+      for (std::int32_t p = 0; p < np; ++p) e.map_var[t][l][p] = s.new_var();
+    }
+  }
+  e.exec_var.assign(tmax + 1, std::vector<std::int32_t>(ng));
+  e.sched_var.assign(tmax + 1, std::vector<std::int32_t>(ng));
+  for (std::int32_t t = 0; t <= tmax; ++t) {
+    for (std::int32_t i = 0; i < ng; ++i) {
+      e.exec_var[t][i] = s.new_var();
+      e.sched_var[t][i] = s.new_var();
+    }
+  }
+
+  auto mp = [&](std::int32_t t, std::int32_t l, std::int32_t p) {
+    return Lit::pos(e.map_var[t][l][p]);
+  };
+  auto ex = [&](std::int32_t t, std::int32_t i) {
+    return Lit::pos(e.exec_var[t][i]);
+  };
+  auto sc = [&](std::int32_t t, std::int32_t i) {
+    return Lit::pos(e.sched_var[t][i]);
+  };
+
+  // Mapping is an injection at every step.
+  for (std::int32_t t = 0; t <= tmax; ++t) {
+    for (std::int32_t l = 0; l < n; ++l) {
+      std::vector<Lit> row;
+      for (std::int32_t p = 0; p < np; ++p) row.push_back(mp(t, l, p));
+      sat::add_exactly_one(s, row);
+    }
+    for (std::int32_t p = 0; p < np; ++p) {
+      std::vector<Lit> col;
+      for (std::int32_t l = 0; l < n; ++l) col.push_back(mp(t, l, p));
+      sat::add_at_most_one(s, col);
+    }
+  }
+
+  // Every gate executes exactly once; prefix variables are monotone and tied
+  // to execution.
+  for (std::int32_t i = 0; i < ng; ++i) {
+    std::vector<Lit> times;
+    for (std::int32_t t = 0; t <= tmax; ++t) times.push_back(ex(t, i));
+    sat::add_exactly_one(s, times);
+    // sched[t] <-> exec[0..t]
+    s.add_implication(ex(0, i), sc(0, i));
+    s.add_implication(sc(0, i), ex(0, i));
+    for (std::int32_t t = 1; t <= tmax; ++t) {
+      s.add_implication(ex(t, i), sc(t, i));
+      s.add_implication(sc(t - 1, i), sc(t, i));
+      // sched[t] -> sched[t-1] or exec[t]
+      s.add_ternary(~sc(t, i), sc(t - 1, i), ex(t, i));
+    }
+  }
+
+  // Strict dependencies: exec[j][t] -> sched[i][t] (shared-qubit gates can
+  // never share a layer thanks to the per-qubit exclusion below, so this
+  // yields strictly-before).
+  const Dag dag = build_strict_dag(logical);
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    for (auto j : dag.succ[i]) {
+      for (std::int32_t t = 0; t <= tmax; ++t) {
+        s.add_implication(ex(t, j), sc(t, static_cast<std::int32_t>(i)));
+      }
+    }
+  }
+
+  // Per-qubit per-layer exclusion.
+  for (std::int32_t l = 0; l < n; ++l) {
+    std::vector<std::int32_t> touching;
+    for (std::int32_t i = 0; i < ng; ++i) {
+      if (logical[i].touches(l)) touching.push_back(i);
+    }
+    for (std::int32_t t = 0; t <= tmax; ++t) {
+      std::vector<Lit> lits;
+      for (auto i : touching) lits.push_back(ex(t, i));
+      sat::add_at_most_one(s, lits);
+    }
+  }
+
+  // Adjacency for two-qubit gates.
+  for (std::int32_t i = 0; i < ng; ++i) {
+    const Gate& gate = logical[i];
+    if (!gate.two_qubit()) continue;
+    for (std::int32_t t = 0; t <= tmax; ++t) {
+      for (std::int32_t p = 0; p < np; ++p) {
+        std::vector<Lit> cl{~ex(t, i), ~mp(t, gate.q0, p)};
+        for (PhysicalQubit q : g.neighbors(p)) cl.push_back(mp(t, gate.q1, q));
+        s.add_clause(cl);
+      }
+    }
+  }
+
+  // Movement: between steps a qubit stays or crosses one edge; crossings are
+  // swaps (the displaced occupant moves the other way).
+  for (std::int32_t t = 0; t < tmax; ++t) {
+    for (std::int32_t l = 0; l < n; ++l) {
+      for (std::int32_t p = 0; p < np; ++p) {
+        std::vector<Lit> cl{~mp(t, l, p), mp(t + 1, l, p)};
+        for (PhysicalQubit q : g.neighbors(p)) cl.push_back(mp(t + 1, l, q));
+        s.add_clause(cl);
+        for (PhysicalQubit q : g.neighbors(p)) {
+          for (std::int32_t l2 = 0; l2 < n; ++l2) {
+            if (l2 == l) continue;
+            // l moves p->q and l2 was at q  =>  l2 moves q->p.
+            s.add_clause({~mp(t, l, p), ~mp(t + 1, l, q), ~mp(t, l2, q),
+                          mp(t + 1, l2, p)});
+          }
+        }
+      }
+    }
+  }
+
+  // Optional SWAP budget: indicator per (t, directed edge p<q).
+  if (swap_budget >= 0) {
+    std::vector<Lit> movers;
+    for (std::int32_t t = 0; t < tmax; ++t) {
+      for (std::int32_t p = 0; p < np; ++p) {
+        for (PhysicalQubit q : g.neighbors(p)) {
+          if (q < p) continue;
+          const std::int32_t v = s.new_var();
+          e.move_vars.push_back(v);
+          movers.push_back(Lit::pos(v));
+          for (std::int32_t l = 0; l < n; ++l) {
+            s.add_ternary(~mp(t, l, p), ~mp(t + 1, l, q), Lit::pos(v));
+            s.add_ternary(~mp(t, l, q), ~mp(t + 1, l, p), Lit::pos(v));
+          }
+        }
+      }
+    }
+    sat::add_at_most_k(s, movers, swap_budget);
+  }
+  return e;
+}
+
+struct Extracted {
+  MappedCircuit mapped;
+  std::int64_t swaps = 0;
+};
+
+Extracted extract(const Solver& s, const Encoding& e, const Circuit& logical,
+                  const CouplingGraph& g, std::int32_t layers) {
+  const std::int32_t n = logical.num_qubits();
+  const std::int32_t np = g.num_qubits();
+  auto mapping_at = [&](std::int32_t t) {
+    std::vector<PhysicalQubit> m(n, -1);
+    for (std::int32_t l = 0; l < n; ++l) {
+      for (std::int32_t p = 0; p < np; ++p) {
+        if (s.value(e.map_var[t][l][p])) m[l] = p;
+      }
+    }
+    return m;
+  };
+
+  Extracted out;
+  out.mapped.circuit = Circuit(np);
+  out.mapped.initial = mapping_at(0);
+  for (std::int32_t t = 0; t <= layers; ++t) {
+    const auto now = mapping_at(t);
+    for (std::size_t i = 0; i < logical.size(); ++i) {
+      if (!s.value(e.exec_var[t][i])) continue;
+      Gate hw = logical[i];
+      hw.q0 = now[logical[i].q0];
+      if (hw.two_qubit()) hw.q1 = now[logical[i].q1];
+      out.mapped.circuit.append(hw);
+    }
+    if (t == layers) break;
+    const auto next = mapping_at(t + 1);
+    for (std::int32_t l = 0; l < n; ++l) {
+      if (next[l] == now[l]) continue;
+      // Emit each transposition once (from the smaller physical id).
+      if (now[l] < next[l]) {
+        out.mapped.circuit.append(Gate::swap(now[l], next[l]));
+        ++out.swaps;
+      }
+    }
+  }
+  out.mapped.final_mapping = mapping_at(layers);
+  return out;
+}
+
+}  // namespace
+
+SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
+                          const SatmapOptions& opts) {
+  require(logical.num_qubits() <= g.num_qubits(),
+          "satmap: more logical than physical qubits");
+  WallTimer timer;
+  Deadline deadline(opts.time_budget_seconds);
+  SatmapResult result;
+
+  // Depth lower bound: critical path of the strict DAG.
+  const Dag dag = build_strict_dag(logical);
+  std::vector<std::int32_t> cp(dag.size(), 1);
+  const auto topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    for (auto succ : dag.succ[*it]) cp[*it] = std::max(cp[*it], cp[succ] + 1);
+  }
+  std::int32_t lower = 1;
+  for (auto c : cp) lower = std::max(lower, c);
+
+  for (std::int32_t layers = lower; layers <= opts.max_layers; ++layers) {
+    if (deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
+    Solver solver;
+    const Encoding enc = build(solver, logical, g, layers, -1);
+    const Result r = solver.solve(deadline.remaining_seconds());
+    if (r == Result::kTimeout) {
+      result.timed_out = true;
+      break;
+    }
+    if (r == Result::kUnsat) continue;
+
+    Extracted best = extract(solver, enc, logical, g, layers);
+    result.solved = true;
+    result.layers = layers;
+
+    if (opts.minimize_swaps) {
+      std::int64_t budget = best.swaps - 1;
+      while (budget >= 0 && !deadline.expired()) {
+        Solver s2;
+        const Encoding enc2 =
+            build(s2, logical, g, layers, static_cast<std::int32_t>(budget));
+        const Result r2 = s2.solve(deadline.remaining_seconds());
+        if (r2 != Result::kSat) break;
+        best = extract(s2, enc2, logical, g, layers);
+        budget = best.swaps - 1;
+      }
+    }
+    result.mapped = std::move(best.mapped);
+    result.swaps = best.swaps;
+    break;
+  }
+  if (!result.solved && !result.timed_out) result.timed_out = true;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qfto

@@ -1,0 +1,34 @@
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+Circuit::Circuit(std::int32_t num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 0, "Circuit: negative qubit count");
+}
+
+void Circuit::append(const Gate& g) {
+  require(g.q0 >= 0 && g.q0 < num_qubits_, "Circuit::append: q0 out of range");
+  if (g.two_qubit()) {
+    require(g.q1 >= 0 && g.q1 < num_qubits_,
+            "Circuit::append: q1 out of range");
+    require(g.q0 != g.q1, "Circuit::append: two-qubit gate on a single wire");
+  }
+  gates_.push_back(g);
+}
+
+void Circuit::extend(const Circuit& other) {
+  require(other.num_qubits_ == num_qubits_,
+          "Circuit::extend: qubit count mismatch");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+std::string Circuit::to_string() const {
+  std::string out;
+  for (const auto& g : gates_) {
+    out += g.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qfto

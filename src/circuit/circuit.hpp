@@ -1,0 +1,41 @@
+// A circuit is an ordered gate list over `num_qubits` wires. The order is a
+// valid topological order of whichever dependency relation produced it; the
+// scheduler (scheduler.hpp) turns it into parallel layers / weighted depth.
+#pragma once
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qfto {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::int32_t num_qubits);
+
+  std::int32_t num_qubits() const { return num_qubits_; }
+
+  /// Appends a gate; validates qubit indices are in range and distinct.
+  void append(const Gate& g);
+
+  /// Appends every gate of `other` (qubit counts must match).
+  void extend(const Circuit& other);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+  const Gate& operator[](std::size_t i) const { return gates_[i]; }
+
+  auto begin() const { return gates_.begin(); }
+  auto end() const { return gates_.end(); }
+
+  /// Multi-line dump, one gate per line (debugging / golden tests).
+  std::string to_string() const;
+
+ private:
+  std::int32_t num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qfto

@@ -1,0 +1,134 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qfto {
+
+std::vector<std::int32_t> Dag::roots() const {
+  std::vector<std::int32_t> indeg(size(), 0);
+  for (const auto& ss : succ) {
+    for (auto s : ss) ++indeg[s];
+  }
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (indeg[i] == 0) out.push_back(static_cast<std::int32_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> Dag::topological_order() const {
+  std::vector<std::int32_t> indeg(size(), 0);
+  for (const auto& ss : succ) {
+    for (auto s : ss) ++indeg[s];
+  }
+  std::vector<std::int32_t> queue;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<std::int32_t>(i));
+  }
+  std::vector<std::int32_t> order;
+  order.reserve(size());
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t g = queue[head];
+    order.push_back(g);
+    for (auto s : succ[g]) {
+      if (--indeg[s] == 0) queue.push_back(s);
+    }
+  }
+  if (order.size() != size()) {
+    throw std::logic_error("Dag::topological_order: cycle detected");
+  }
+  return order;
+}
+
+bool is_diagonal(GateKind kind) {
+  return kind == GateKind::kCPhase || kind == GateKind::kRz;
+}
+
+namespace {
+
+void add_edge(Dag& dag, std::int32_t from, std::int32_t to) {
+  if (from == to) return;
+  dag.succ[from].push_back(to);
+  dag.pred[to].push_back(from);
+}
+
+void dedup(Dag& dag) {
+  auto clean = [](std::vector<std::int32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (auto& v : dag.succ) clean(v);
+  for (auto& v : dag.pred) clean(v);
+}
+
+}  // namespace
+
+Dag build_strict_dag(const Circuit& c) {
+  Dag dag;
+  dag.succ.resize(c.size());
+  dag.pred.resize(c.size());
+  std::vector<std::int32_t> last(c.num_qubits(), -1);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c[i];
+    const std::int32_t gi = static_cast<std::int32_t>(i);
+    if (last[g.q0] >= 0) add_edge(dag, last[g.q0], gi);
+    last[g.q0] = gi;
+    if (g.two_qubit()) {
+      if (last[g.q1] >= 0) add_edge(dag, last[g.q1], gi);
+      last[g.q1] = gi;
+    }
+  }
+  dedup(dag);
+  return dag;
+}
+
+Dag build_relaxed_dag(const Circuit& c) {
+  Dag dag;
+  dag.succ.resize(c.size());
+  dag.pred.resize(c.size());
+  // Per qubit: index of the last non-diagonal ("barrier") gate, and the
+  // diagonal gates seen since that barrier.
+  std::vector<std::int32_t> last_barrier(c.num_qubits(), -1);
+  std::vector<std::vector<std::int32_t>> diag_since(c.num_qubits());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c[i];
+    const std::int32_t gi = static_cast<std::int32_t>(i);
+    const bool diag = is_diagonal(g.kind);
+    auto visit_wire = [&](std::int32_t q) {
+      if (diag) {
+        if (last_barrier[q] >= 0) add_edge(dag, last_barrier[q], gi);
+        diag_since[q].push_back(gi);
+      } else {
+        for (auto d : diag_since[q]) add_edge(dag, d, gi);
+        if (last_barrier[q] >= 0) add_edge(dag, last_barrier[q], gi);
+        diag_since[q].clear();
+        last_barrier[q] = gi;
+      }
+    };
+    visit_wire(g.q0);
+    if (g.two_qubit()) visit_wire(g.q1);
+  }
+  dedup(dag);
+  return dag;
+}
+
+bool respects_dag(const Dag& dag, const std::vector<std::int32_t>& order) {
+  if (order.size() != dag.size()) return false;
+  std::vector<std::int32_t> pos(dag.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::int32_t g = order[i];
+    if (g < 0 || static_cast<std::size_t>(g) >= dag.size() || pos[g] >= 0) {
+      return false;
+    }
+    pos[g] = static_cast<std::int32_t>(i);
+  }
+  for (std::size_t g = 0; g < dag.size(); ++g) {
+    for (auto s : dag.succ[g]) {
+      if (pos[g] >= pos[s]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qfto

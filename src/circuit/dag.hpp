@@ -1,0 +1,41 @@
+// Dependency DAGs over a circuit's gate list.
+//
+// * Strict DAG: conventional per-wire ordering — every pair of gates sharing a
+//   qubit is ordered. This is what general-purpose routers (SABRE, SATMAP)
+//   consume.
+// * Relaxed DAG (the paper's Insight 1): diagonal gates (CPHASE, RZ) that
+//   share a qubit commute, so only "Type II" dependences remain — a
+//   non-diagonal gate (H, SWAP, CNOT, X) acts as a barrier on its wires.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+struct Dag {
+  /// succ[i] = indices of gates that must run after gate i.
+  std::vector<std::vector<std::int32_t>> succ;
+  /// pred[i] = indices of gates that must run before gate i.
+  std::vector<std::vector<std::int32_t>> pred;
+
+  std::size_t size() const { return succ.size(); }
+
+  /// Gate indices with no predecessors.
+  std::vector<std::int32_t> roots() const;
+
+  /// One topological order (Kahn). Throws if the graph has a cycle.
+  std::vector<std::int32_t> topological_order() const;
+};
+
+/// True if the gate is diagonal in the computational basis.
+bool is_diagonal(GateKind kind);
+
+Dag build_strict_dag(const Circuit& c);
+Dag build_relaxed_dag(const Circuit& c);
+
+/// Checks that `order` (a permutation of gate indices) respects `dag`.
+bool respects_dag(const Dag& dag, const std::vector<std::int32_t>& order);
+
+}  // namespace qfto

@@ -1,0 +1,75 @@
+#include "circuit/gate.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qfto {
+
+bool is_two_qubit(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCPhase:
+    case GateKind::kSwap:
+    case GateKind::kCnot:
+      return true;
+    case GateKind::kH:
+    case GateKind::kX:
+    case GateKind::kRz:
+      return false;
+  }
+  return false;
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return "H";
+    case GateKind::kX: return "X";
+    case GateKind::kRz: return "RZ";
+    case GateKind::kCPhase: return "CP";
+    case GateKind::kSwap: return "SWAP";
+    case GateKind::kCnot: return "CNOT";
+  }
+  return "?";
+}
+
+Gate Gate::h(std::int32_t q) { return Gate{GateKind::kH, q, kInvalidQubit, 0.0}; }
+Gate Gate::x(std::int32_t q) { return Gate{GateKind::kX, q, kInvalidQubit, 0.0}; }
+
+Gate Gate::rz(std::int32_t q, double angle) {
+  return Gate{GateKind::kRz, q, kInvalidQubit, angle};
+}
+
+Gate Gate::cphase(std::int32_t a, std::int32_t b, double angle) {
+  return Gate{GateKind::kCPhase, a, b, angle};
+}
+
+Gate Gate::swap(std::int32_t a, std::int32_t b) {
+  return Gate{GateKind::kSwap, a, b, 0.0};
+}
+
+Gate Gate::cnot(std::int32_t control, std::int32_t target) {
+  return Gate{GateKind::kCnot, control, target, 0.0};
+}
+
+std::string Gate::to_string() const {
+  char buf[96];
+  if (two_qubit()) {
+    if (kind == GateKind::kCPhase) {
+      std::snprintf(buf, sizeof(buf), "CP(%d,%d;%.6g)", q0, q1, angle);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s(%d,%d)", gate_name(kind).c_str(), q0,
+                    q1);
+    }
+  } else if (kind == GateKind::kRz) {
+    std::snprintf(buf, sizeof(buf), "RZ(%d;%.6g)", q0, angle);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s(%d)", gate_name(kind).c_str(), q0);
+  }
+  return buf;
+}
+
+bool operator==(const Gate& a, const Gate& b) {
+  return a.kind == b.kind && a.q0 == b.q0 && a.q1 == b.q1 &&
+         std::abs(a.angle - b.angle) < 1e-12;
+}
+
+}  // namespace qfto

@@ -1,0 +1,53 @@
+// Gate-level IR. The QFT mapping problem only needs a small gate alphabet:
+// H, CPHASE (controlled phase), SWAP, CNOT, plus X/RZ for the example apps.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+enum class GateKind : std::uint8_t {
+  kH,       // Hadamard (1q)
+  kX,       // Pauli-X (1q)
+  kRz,      // Z-rotation by `angle` (1q)
+  kCPhase,  // controlled phase by `angle`; diagonal, symmetric in its qubits
+  kSwap,    // SWAP (2q)
+  kCnot,    // CNOT, q0 = control, q1 = target
+};
+
+/// Returns true for two-qubit kinds.
+bool is_two_qubit(GateKind kind);
+
+/// Human-readable mnemonic ("H", "CP", "SWAP", ...).
+std::string gate_name(GateKind kind);
+
+/// One gate instance. For 1q gates `q1 == kInvalidQubit`.
+/// For CPHASE we keep the (control, target) the producer supplied even though
+/// the unitary is symmetric, so checkers can report the paper's G(Qi, Qj)
+/// orientation.
+struct Gate {
+  GateKind kind;
+  std::int32_t q0 = kInvalidQubit;
+  std::int32_t q1 = kInvalidQubit;
+  double angle = 0.0;
+
+  static Gate h(std::int32_t q);
+  static Gate x(std::int32_t q);
+  static Gate rz(std::int32_t q, double angle);
+  static Gate cphase(std::int32_t a, std::int32_t b, double angle);
+  static Gate swap(std::int32_t a, std::int32_t b);
+  static Gate cnot(std::int32_t control, std::int32_t target);
+
+  bool two_qubit() const { return is_two_qubit(kind); }
+
+  /// True if the gate acts on qubit q.
+  bool touches(std::int32_t q) const { return q0 == q || q1 == q; }
+
+  std::string to_string() const;
+};
+
+bool operator==(const Gate& a, const Gate& b);
+
+}  // namespace qfto

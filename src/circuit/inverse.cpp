@@ -1,0 +1,33 @@
+#include "circuit/inverse.hpp"
+
+namespace qfto {
+
+Circuit inverse_circuit(const Circuit& c) {
+  Circuit inv(c.num_qubits());
+  for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it) {
+    Gate g = *it;
+    switch (g.kind) {
+      case GateKind::kRz:
+      case GateKind::kCPhase:
+        g.angle = -g.angle;
+        break;
+      case GateKind::kH:
+      case GateKind::kX:
+      case GateKind::kSwap:
+      case GateKind::kCnot:
+        break;  // self-inverse
+    }
+    inv.append(g);
+  }
+  return inv;
+}
+
+MappedCircuit inverse_mapped(const MappedCircuit& mc) {
+  MappedCircuit inv;
+  inv.circuit = inverse_circuit(mc.circuit);
+  inv.initial = mc.final_mapping;
+  inv.final_mapping = mc.initial;
+  return inv;
+}
+
+}  // namespace qfto

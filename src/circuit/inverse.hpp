@@ -1,0 +1,17 @@
+// Circuit inversion. Applications built on the QFT kernel (QPE, Shor) need
+// the *inverse* QFT; a mapped forward kernel inverts mechanically — reverse
+// the gate list, conjugate the rotations — and the entry/exit mappings swap
+// roles. Linear depth and hardware compliance are preserved verbatim.
+#pragma once
+
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+/// Adjoint of a circuit over the H/X/RZ/CPHASE/SWAP/CNOT alphabet.
+Circuit inverse_circuit(const Circuit& c);
+
+/// Adjoint of a mapped circuit; initial and final mappings trade places.
+MappedCircuit inverse_mapped(const MappedCircuit& mc);
+
+}  // namespace qfto

@@ -1,0 +1,15 @@
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+bool valid_mapping(const std::vector<PhysicalQubit>& mapping,
+                   std::int32_t num_physical) {
+  std::vector<std::uint8_t> seen(num_physical, 0);
+  for (PhysicalQubit p : mapping) {
+    if (p < 0 || p >= num_physical || seen[p]) return false;
+    seen[p] = 1;
+  }
+  return true;
+}
+
+}  // namespace qfto

@@ -1,0 +1,30 @@
+// Result of qubit mapping: a hardware circuit over physical qubits plus the
+// logical->physical mapping at entry and exit. Architecture-agnostic so the
+// checker, simulator and every mapper/baseline can share it.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+struct MappedCircuit {
+  /// Gates act on physical qubit ids (0 .. circuit.num_qubits()-1).
+  Circuit circuit;
+  /// initial[l] = physical qubit holding logical l before the first gate.
+  std::vector<PhysicalQubit> initial;
+  /// final_mapping[l] = physical qubit holding logical l after the last gate.
+  std::vector<PhysicalQubit> final_mapping;
+
+  std::int32_t num_logical() const {
+    return static_cast<std::int32_t>(initial.size());
+  }
+  std::int32_t num_physical() const { return circuit.num_qubits(); }
+};
+
+/// Validates that `mapping` is an injection of logicals into physicals.
+bool valid_mapping(const std::vector<PhysicalQubit>& mapping,
+                   std::int32_t num_physical);
+
+}  // namespace qfto

@@ -1,0 +1,25 @@
+#include "circuit/qft_spec.hpp"
+
+#include <cmath>
+
+namespace qfto {
+
+double qft_angle(LogicalQubit i, LogicalQubit j) {
+  require(i < j, "qft_angle: expects i < j");
+  // R_k in the textbook circuit applies phase 2*pi/2^k with k = j - i + 1,
+  // i.e. pi / 2^{j-i}.
+  return M_PI / std::pow(2.0, static_cast<double>(j - i));
+}
+
+Circuit qft_logical(std::int32_t n) {
+  Circuit c(n);
+  for (LogicalQubit i = 0; i < n; ++i) {
+    c.append(Gate::h(i));
+    for (LogicalQubit j = i + 1; j < n; ++j) {
+      c.append(Gate::cphase(i, j, qft_angle(i, j)));
+    }
+  }
+  return c;
+}
+
+}  // namespace qfto

@@ -1,0 +1,40 @@
+// Latency-aware ASAP scheduling.
+//
+// The paper's depth numbers are "cycles to finish all gate operations": on the
+// NISQ backends every gate (1q, CPHASE, SWAP) occupies one cycle; on the
+// lattice-surgery FT backend latencies are heterogeneous (CNOT = 2 cycles,
+// diagonal-link SWAP = 2, axial-link SWAP = 6). The scheduler therefore takes
+// a per-gate latency callback and computes the makespan over wires, honouring
+// the gate-list order per wire (our emitters produce dependency-ordered
+// lists, so per-wire ASAP equals DAG ASAP).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+/// Returns the duration (in cycles) of a gate. Receives the gate so that
+/// architecture latency models can inspect which physical link it uses.
+using LatencyFn = std::function<Cycle(const Gate&)>;
+
+/// Unit latency: every gate takes one cycle (the paper's NISQ step count).
+Cycle unit_latency(const Gate& g);
+
+struct Schedule {
+  std::vector<Cycle> start;  // start cycle of each gate
+  Cycle depth = 0;           // makespan
+
+  /// Gates grouped by start cycle (ascending); within a group gates are
+  /// disjoint on wires only under unit latency — used for layer dumps.
+  std::vector<std::vector<std::int32_t>> layers() const;
+};
+
+Schedule schedule_asap(const Circuit& c, const LatencyFn& latency);
+
+/// Convenience: makespan only.
+Cycle circuit_depth(const Circuit& c, const LatencyFn& latency = unit_latency);
+
+}  // namespace qfto

@@ -1,0 +1,32 @@
+#include "circuit/stats.hpp"
+
+#include <cstdio>
+
+namespace qfto {
+
+std::string GateCounts::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "H=%lld X=%lld RZ=%lld CP=%lld SWAP=%lld CNOT=%lld",
+                static_cast<long long>(h), static_cast<long long>(x),
+                static_cast<long long>(rz), static_cast<long long>(cphase),
+                static_cast<long long>(swap), static_cast<long long>(cnot));
+  return buf;
+}
+
+GateCounts count_gates(const Circuit& c) {
+  GateCounts gc;
+  for (const auto& g : c) {
+    switch (g.kind) {
+      case GateKind::kH: ++gc.h; break;
+      case GateKind::kX: ++gc.x; break;
+      case GateKind::kRz: ++gc.rz; break;
+      case GateKind::kCPhase: ++gc.cphase; break;
+      case GateKind::kSwap: ++gc.swap; break;
+      case GateKind::kCnot: ++gc.cnot; break;
+    }
+  }
+  return gc;
+}
+
+}  // namespace qfto

@@ -1,0 +1,27 @@
+// Gate-count statistics used by every benchmark table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+struct GateCounts {
+  std::int64_t h = 0;
+  std::int64_t x = 0;
+  std::int64_t rz = 0;
+  std::int64_t cphase = 0;
+  std::int64_t swap = 0;
+  std::int64_t cnot = 0;
+
+  std::int64_t total() const { return h + x + rz + cphase + swap + cnot; }
+  std::int64_t two_qubit() const { return cphase + swap + cnot; }
+
+  std::string to_string() const;
+};
+
+GateCounts count_gates(const Circuit& c);
+
+}  // namespace qfto

@@ -1,0 +1,55 @@
+#include "circuit/transforms.hpp"
+
+#include <cmath>
+
+namespace qfto {
+
+Circuit decompose_to_cnot(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  for (const auto& g : c) {
+    switch (g.kind) {
+      case GateKind::kSwap:
+        out.append(Gate::cnot(g.q0, g.q1));
+        out.append(Gate::cnot(g.q1, g.q0));
+        out.append(Gate::cnot(g.q0, g.q1));
+        break;
+      case GateKind::kCPhase:
+        // diag(1,1,1,e^{i a}) == Rz_c(a/2) Rz_t(a/2) CNOT Rz_t(-a/2) CNOT
+        // with Rz = diag(1, e^{i a}) (exact, no global phase residue).
+        out.append(Gate::rz(g.q0, g.angle / 2));
+        out.append(Gate::rz(g.q1, g.angle / 2));
+        out.append(Gate::cnot(g.q0, g.q1));
+        out.append(Gate::rz(g.q1, -g.angle / 2));
+        out.append(Gate::cnot(g.q0, g.q1));
+        break;
+      default:
+        out.append(g);
+        break;
+    }
+  }
+  return out;
+}
+
+Circuit prune_small_rotations(const Circuit& c, std::int32_t max_k) {
+  require(max_k >= 1, "prune_small_rotations: max_k >= 1");
+  const double threshold = M_PI / std::pow(2.0, static_cast<double>(max_k));
+  Circuit out(c.num_qubits());
+  for (const auto& g : c) {
+    if (g.kind == GateKind::kCPhase &&
+        std::abs(g.angle) < threshold * (1.0 - 1e-12)) {
+      continue;
+    }
+    out.append(g);
+  }
+  return out;
+}
+
+std::int64_t aqft_pair_count(std::int64_t n, std::int64_t max_k) {
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    count += std::min(n - 1 - i, max_k);
+  }
+  return count;
+}
+
+}  // namespace qfto

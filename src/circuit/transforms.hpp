@@ -1,0 +1,27 @@
+// Circuit lowering and approximation passes.
+//
+// * decompose_to_cnot: expand SWAP (3 CNOTs) and CPHASE (2 CNOTs + 3 RZ)
+//   into the CNOT+1q basis — the native cost model behind the paper's
+//   lattice-surgery latencies (§2.3: "SWAPs ... have to be implemented using
+//   three CNOT gates").
+// * prune_small_rotations: Coppersmith's approximate QFT [paper ref 9] —
+//   drop CPHASEs with rotation angle below pi/2^max_k. Works on logical or
+//   mapped circuits (the angle identifies the logical distance); SWAPs are
+//   untouched so hardware compliance of a mapped kernel is preserved.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+/// Exact lowering to {H, X, RZ, CNOT}.
+Circuit decompose_to_cnot(const Circuit& c);
+
+/// Drops CPHASE gates with |angle| < pi / 2^max_k (i.e. logical qubit
+/// distance > max_k). max_k >= n-1 keeps the circuit exact.
+Circuit prune_small_rotations(const Circuit& c, std::int32_t max_k);
+
+/// Number of CPHASE gates an n-qubit AQFT with cutoff max_k retains.
+std::int64_t aqft_pair_count(std::int64_t n, std::int64_t max_k);
+
+}  // namespace qfto

@@ -1,0 +1,65 @@
+#include "common/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qfto {
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  std::string out = s;
+  out.append(width - s.size(), ' ');
+  return out;
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += pad(headers_[c], widths[c] + 2);
+  }
+  out += '\n';
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += pad(row[c], widths[c] + 2);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qfto

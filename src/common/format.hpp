@@ -1,0 +1,34 @@
+// Small text helpers for table-style benchmark output (no external deps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qfto {
+
+/// Right-pads (or truncates) `s` to `width` characters.
+std::string pad(const std::string& s, std::size_t width);
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec = 2);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Simple fixed-width table printer used by the bench binaries so that every
+/// table in the paper is emitted in a uniform, diffable format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qfto

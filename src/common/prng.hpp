@@ -1,0 +1,38 @@
+// Deterministic, seed-stable PRNGs. SABRE trials and the synthesizer need
+// reproducible randomness across platforms, so we do not use std::mt19937
+// distributions (whose outputs are implementation-defined for some adaptors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace qfto {
+
+/// SplitMix64: used to seed other generators and for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed);
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, tiny state.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed = 0x5eed5eedULL);
+
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace qfto

@@ -1,0 +1,26 @@
+#include "common/timer.hpp"
+
+namespace qfto {
+
+WallTimer::WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+double WallTimer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+void WallTimer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+Deadline::Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+bool Deadline::expired() const {
+  return budget_ > 0.0 && timer_.seconds() >= budget_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (budget_ <= 0.0) return 1e300;
+  const double r = budget_ - timer_.seconds();
+  return r > 0.0 ? r : 0.0;
+}
+
+}  // namespace qfto

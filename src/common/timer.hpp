@@ -1,0 +1,36 @@
+// Wall-clock timer used to report compilation times (Table 1 "CT(s)") and to
+// enforce solver timeouts (SATMAP's 2-hour budget, scaled down for CI).
+#pragma once
+
+#include <chrono>
+
+namespace qfto {
+
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+  void reset();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deadline helper: `Deadline d(1.5); ... if (d.expired()) abort_search();`
+class Deadline {
+ public:
+  /// A non-positive budget means "never expires".
+  explicit Deadline(double budget_seconds);
+
+  bool expired() const;
+  double remaining_seconds() const;
+
+ private:
+  WallTimer timer_;
+  double budget_;
+};
+
+}  // namespace qfto

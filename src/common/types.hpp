@@ -1,0 +1,28 @@
+// Core scalar types and small helpers shared across qfto.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace qfto {
+
+/// Index of a *logical* qubit (program qubit). QFT on n qubits uses 0..n-1.
+using LogicalQubit = std::int32_t;
+
+/// Index of a *physical* qubit (hardware node in a coupling graph).
+using PhysicalQubit = std::int32_t;
+
+/// A scheduled time step (cycle) in a layered circuit.
+using Cycle = std::int64_t;
+
+inline constexpr LogicalQubit kInvalidQubit = -1;
+
+/// Throwing assert used for API-contract violations; active in all builds so
+/// that the verification layers can rely on it in release benchmarks.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace qfto

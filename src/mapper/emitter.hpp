@@ -1,0 +1,64 @@
+// LayerEmitter: the single funnel through which every analytical mapper
+// emits gates. It enforces, at construction time of the circuit (not after
+// the fact), the three hardware rules:
+//   * two-qubit gates only on coupling-graph edges,
+//   * one gate per physical qubit per layer,
+//   * CPHASE only when the relaxed-ordering window (QftState) allows it.
+// It simultaneously tracks the logical<->physical mapping through SWAPs and
+// stamps the correct QFT angle on every CPHASE from the logical indices.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+#include "circuit/mapped_circuit.hpp"
+#include "mapper/qft_state.hpp"
+#include "verify/mapping_tracker.hpp"
+
+namespace qfto {
+
+class LayerEmitter {
+ public:
+  LayerEmitter(const CouplingGraph& graph,
+               std::vector<PhysicalQubit> initial_mapping, QftState& state);
+
+  const CouplingGraph& graph() const { return graph_; }
+  const MappingTracker& tracker() const { return tracker_; }
+  QftState& state() { return state_; }
+
+  LogicalQubit occupant(PhysicalQubit p) const { return tracker_.logical_at(p); }
+
+  /// Closes the current layer; subsequent gates start a new parallel layer.
+  void next_layer();
+
+  bool busy(PhysicalQubit p) const;
+
+  /// Emits CPHASE between the occupants of a and b if the window allows and
+  /// both nodes are idle this layer. Returns true if emitted.
+  bool try_cphase(PhysicalQubit a, PhysicalQubit b);
+
+  /// Emits H on the occupant of p if enabled and idle. Returns true if so.
+  bool try_h(PhysicalQubit p);
+
+  /// Emits SWAP(a,b) if both idle (adjacency always enforced).
+  bool try_swap(PhysicalQubit a, PhysicalQubit b);
+
+  /// Total gates emitted (stall detection) and per-kind tallies.
+  std::int64_t gates_emitted() const { return gates_emitted_; }
+  std::int64_t layer_index() const { return layer_; }
+
+  /// Finalizes into a MappedCircuit (emitter unusable afterwards).
+  MappedCircuit finish() &&;
+
+ private:
+  const CouplingGraph& graph_;
+  Circuit circuit_;
+  std::vector<PhysicalQubit> initial_;
+  MappingTracker tracker_;
+  QftState& state_;
+  std::vector<std::int64_t> busy_layer_;  // last layer index that used node p
+  std::int64_t layer_ = 0;
+  std::int64_t gates_emitted_ = 0;
+
+  void mark_busy(PhysicalQubit p);
+};
+
+}  // namespace qfto

@@ -1,0 +1,116 @@
+#include "mapper/heavy_hex_mapper.hpp"
+
+#include <stdexcept>
+
+#include "mapper/emitter.hpp"
+#include "mapper/line_engine.hpp"
+
+namespace qfto {
+
+MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay) {
+  const std::int32_t n = lay.num_qubits;
+  require(n >= 1, "map_qft_heavy_hex: empty layout");
+  const CouplingGraph g = make_heavy_hex(lay);
+  QftState state(n);
+  LayerEmitter em(g, heavy_hex_initial_mapping(lay), state);
+
+  const std::int32_t num_dangle = lay.num_dangling();
+  std::vector<std::uint8_t> parked(num_dangle, 0);
+
+  std::vector<PhysicalQubit> main_line(lay.main_len);
+  for (std::int32_t p = 0; p < lay.main_len; ++p) main_line[p] = lay.main_node(p);
+
+  // Veto for movement: a qubit waiting to park must not drift past its
+  // junction, and nothing may move through an in-flight parking node.
+  auto frozen = [&](PhysicalQubit node) {
+    const std::int32_t j = lay.junction_at(node);  // main node id == position
+    if (j < 0) return false;
+    if (parked[j]) return false;
+    return em.occupant(node) == static_cast<LogicalQubit>(j);
+  };
+
+  const std::int64_t round_cap = 8 * static_cast<std::int64_t>(n) + 64;
+  std::int32_t idle_rounds = 0;
+  for (std::int64_t round = 0; !state.all_done(); ++round) {
+    if (round > round_cap) {
+      throw std::logic_error("map_qft_heavy_hex: round cap exceeded");
+    }
+    std::int64_t before = em.gates_emitted();
+
+    // Interaction layer. Junction links first (the paper's "extra stops"
+    // prioritize CPHASEs with dangling qubits), then the main line, then H.
+    em.next_layer();
+    for (std::int32_t j = 0; j < num_dangle; ++j) {
+      em.try_cphase(lay.main_node(lay.junctions[j]), lay.dangling_node(j));
+    }
+    line_interaction_layer(em, main_line);
+    for (std::int32_t j = 0; j < num_dangle; ++j) {
+      em.try_h(lay.dangling_node(j));
+    }
+
+    // Movement layer. Parking swaps first, then LNN movement on the main
+    // line (ascending start: the reversal flow of Fig. 3).
+    em.next_layer();
+    for (std::int32_t j = 0; j < num_dangle; ++j) {
+      if (parked[j]) continue;
+      const PhysicalQubit junction = lay.main_node(lay.junctions[j]);
+      const PhysicalQubit dangle = lay.dangling_node(j);
+      const LogicalQubit on_main = em.occupant(junction);
+      const LogicalQubit on_dangle = em.occupant(dangle);
+      if (on_main == static_cast<LogicalQubit>(j) &&
+          state.pair_done(on_main, on_dangle)) {
+        if (em.try_swap(junction, dangle)) parked[j] = 1;
+      }
+    }
+    line_movement_layer(em, main_line, /*ascending=*/true, frozen);
+
+    if (em.gates_emitted() == before) {
+      if (++idle_rounds > 3) {
+        throw std::logic_error(
+            "map_qft_heavy_hex: stalled with " +
+            std::to_string(state.pairs_remaining()) + " pairs and " +
+            std::to_string(state.selfs_remaining()) + " H gates pending");
+      }
+    } else {
+      idle_rounds = 0;
+    }
+  }
+  return std::move(em).finish();
+}
+
+MappedCircuit map_qft_heavy_hex(std::int32_t n) {
+  return map_qft_heavy_hex(heavy_hex_layout(n));
+}
+
+MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev) {
+  const HeavyHexReduction red = simplify_heavy_hex(dev);
+  const HeavyHexLayout canon = red.canonical();
+  const MappedCircuit canonical = map_qft_heavy_hex(canon);
+
+  // Canonical physical id -> device node.
+  std::vector<PhysicalQubit> relabel(canon.num_qubits);
+  for (std::size_t p = 0; p < red.main_line.size(); ++p) {
+    relabel[canon.main_node(static_cast<std::int32_t>(p))] = red.main_line[p];
+  }
+  for (std::size_t g = 0; g < red.dangling.size(); ++g) {
+    relabel[canon.dangling_node(static_cast<std::int32_t>(g))] =
+        red.dangling[g].second;
+  }
+
+  MappedCircuit out;
+  out.circuit = Circuit(dev.graph.num_qubits());
+  for (const Gate& g : canonical.circuit) {
+    Gate hw = g;
+    hw.q0 = relabel[g.q0];
+    if (g.two_qubit()) hw.q1 = relabel[g.q1];
+    out.circuit.append(hw);
+  }
+  out.initial.reserve(canonical.initial.size());
+  for (PhysicalQubit p : canonical.initial) out.initial.push_back(relabel[p]);
+  for (PhysicalQubit p : canonical.final_mapping) {
+    out.final_mapping.push_back(relabel[p]);
+  }
+  return out;
+}
+
+}  // namespace qfto

@@ -1,0 +1,57 @@
+// The LNN QFT base case (§2.2, Fig. 3) as a closed-loop engine.
+//
+// Instead of hard-coding the published gate pattern, we *derive* it each run:
+// alternate (a) interaction layers — a maximal set of CPHASEs on adjacent
+// pairs whose relaxed-ordering window is open, plus H gates on enabled idle
+// qubits — with (b) movement layers — SWAPs for adjacent pairs that have
+// interacted and still need to cross in the global reversal. Starting from an
+// ascending placement this reproduces Fig. 3 exactly (each pair of logical
+// indices sums to a constant per layer, final mapping reversed); the engine
+// additionally handles descending and arbitrary placements (via a pre-sort),
+// which the unit-based Sycamore / lattice-surgery mappers need after unit
+// moves. Every emission goes through LayerEmitter, so hardware compliance is
+// enforced while the circuit is built.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mapper/emitter.hpp"
+
+namespace qfto {
+
+/// Optional veto: movement layers skip SWAPs touching a node for which this
+/// returns true (heavy-hex freezes a qubit that is about to park).
+using NodeVeto = std::function<bool(PhysicalQubit)>;
+
+/// One interaction layer over `line` (physically adjacent consecutive nodes):
+/// CPHASEs left-to-right, then H on idle enabled occupants.
+/// Returns the number of gates emitted. Does not advance the layer.
+std::int32_t line_interaction_layer(LayerEmitter& em,
+                                    const std::vector<PhysicalQubit>& line);
+
+/// One movement layer: SWAP every adjacent pair (left a, right b) with
+/// pair done and still uncrossed (ascending: a<b must end b..a; descending
+/// symmetric). Returns number of SWAPs.
+std::int32_t line_movement_layer(LayerEmitter& em,
+                                 const std::vector<PhysicalQubit>& line,
+                                 bool ascending,
+                                 const NodeVeto& frozen = nullptr);
+
+/// True if occupants of `line` are monotone (asc or desc as requested).
+bool line_monotone(const LayerEmitter& em,
+                   const std::vector<PhysicalQubit>& line, bool ascending);
+
+/// Pure-SWAP odd-even sort of the occupants into ascending order. Safe: any
+/// pair it crosses without interacting re-meets during the subsequent
+/// reversal. Used to renormalize a unit after inter-unit traffic.
+void line_presort_ascending(LayerEmitter& em,
+                            const std::vector<PhysicalQubit>& line);
+
+/// Full QFT-IA on this line: presort if non-monotone, then run interaction /
+/// movement rounds until every occupant pair has interacted and every
+/// occupant has its H. Throws on stall (cannot happen for monotone inputs;
+/// the guard protects against future misuse).
+void run_line_qft(LayerEmitter& em, const std::vector<PhysicalQubit>& line);
+
+}  // namespace qfto

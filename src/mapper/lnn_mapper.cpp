@@ -1,0 +1,23 @@
+#include "mapper/lnn_mapper.hpp"
+
+#include <numeric>
+
+#include "arch/line.hpp"
+#include "mapper/line_engine.hpp"
+
+namespace qfto {
+
+MappedCircuit map_qft_lnn(std::int32_t n) {
+  require(n >= 1, "map_qft_lnn: n >= 1");
+  const CouplingGraph g = make_line(n);
+  QftState state(n);
+  std::vector<PhysicalQubit> initial(n);
+  std::iota(initial.begin(), initial.end(), 0);
+  LayerEmitter em(g, initial, state);
+  std::vector<PhysicalQubit> line(n);
+  std::iota(line.begin(), line.end(), 0);
+  run_line_qft(em, line);
+  return std::move(em).finish();
+}
+
+}  // namespace qfto

@@ -1,0 +1,12 @@
+// Linear-nearest-neighbor QFT mapper (§2.2): the Maslov / Zhang linear-depth
+// base case. Depth 4N + O(1), zero recompilation across sizes, final mapping
+// q_i -> Q_{N-1-i}.
+#pragma once
+
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+MappedCircuit map_qft_lnn(std::int32_t n);
+
+}  // namespace qfto

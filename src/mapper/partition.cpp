@@ -1,0 +1,84 @@
+#include "mapper/partition.hpp"
+
+#include <numeric>
+
+#include "circuit/qft_spec.hpp"
+
+namespace qfto {
+
+void append_qft_ie(Circuit& c, std::int32_t a0, std::int32_t a1,
+                   std::int32_t b0, std::int32_t b1) {
+  for (std::int32_t i = a0; i < a1; ++i) {
+    for (std::int32_t j = b0; j < b1; ++j) {
+      c.append(Gate::cphase(i, j, qft_angle(std::min(i, j), std::max(i, j))));
+    }
+  }
+}
+
+namespace {
+
+void append_qft_ia(Circuit& c, std::int32_t lo, std::int32_t hi) {
+  for (std::int32_t i = lo; i < hi; ++i) {
+    c.append(Gate::h(i));
+    for (std::int32_t j = i + 1; j < hi; ++j) {
+      c.append(Gate::cphase(i, j, qft_angle(i, j)));
+    }
+  }
+}
+
+// Fig. 8: QFT-IA(range, range_list) for a list of consecutive sub-ranges.
+void append_partitioned(Circuit& c, const std::vector<std::int32_t>& bounds) {
+  const std::size_t k = bounds.size() - 1;
+  for (std::size_t u = 0; u < k; ++u) {
+    append_qft_ia(c, bounds[u], bounds[u + 1]);
+    for (std::size_t v = u + 1; v < k; ++v) {
+      append_qft_ie(c, bounds[u], bounds[u + 1], bounds[v], bounds[v + 1]);
+    }
+  }
+}
+
+void append_recursive(Circuit& c, std::int32_t lo, std::int32_t hi,
+                      std::int32_t fanout, std::int32_t leaf) {
+  const std::int32_t len = hi - lo;
+  if (len <= leaf || len < 2 * fanout) {
+    append_qft_ia(c, lo, hi);
+    return;
+  }
+  std::vector<std::int32_t> bounds{lo};
+  for (std::int32_t u = 0; u < fanout; ++u) {
+    bounds.push_back(lo + static_cast<std::int32_t>(
+                              (static_cast<std::int64_t>(len) * (u + 1)) / fanout));
+  }
+  for (std::int32_t u = 0; u < fanout; ++u) {
+    append_recursive(c, bounds[u], bounds[u + 1], fanout, leaf);
+    for (std::int32_t v = u + 1; v < fanout; ++v) {
+      append_qft_ie(c, bounds[u], bounds[u + 1], bounds[v], bounds[v + 1]);
+    }
+  }
+}
+
+}  // namespace
+
+Circuit qft_partitioned(std::int32_t n, const std::vector<std::int32_t>& sizes) {
+  require(n >= 1, "qft_partitioned: n >= 1");
+  std::vector<std::int32_t> bounds{0};
+  for (auto s : sizes) {
+    require(s > 0, "qft_partitioned: sizes must be positive");
+    bounds.push_back(bounds.back() + s);
+  }
+  require(bounds.back() == n, "qft_partitioned: sizes must sum to n");
+  Circuit c(n);
+  append_partitioned(c, bounds);
+  return c;
+}
+
+Circuit qft_partitioned_recursive(std::int32_t n, std::int32_t fanout,
+                                  std::int32_t leaf) {
+  require(n >= 1 && fanout >= 2 && leaf >= 1,
+          "qft_partitioned_recursive: bad parameters");
+  Circuit c(n);
+  append_recursive(c, 0, n, fanout, leaf);
+  return c;
+}
+
+}  // namespace qfto

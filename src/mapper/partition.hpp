@@ -1,0 +1,28 @@
+// Logical-level sub-kernel partitioning (§3.2, Fig. 7/8): reorders the QFT
+// gate list into QFT-IA blocks (within a sub-range) and QFT-IE blocks
+// (between sub-ranges), optionally recursively. The reordering is proven
+// correct in the paper by Type-II preservation; our tests re-prove it
+// mechanically (relaxed-DAG validity + unitary equivalence).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+/// A partition of [0, n) into consecutive ranges given by their sizes.
+/// Sizes must be positive and sum to n.
+Circuit qft_partitioned(std::int32_t n, const std::vector<std::int32_t>& sizes);
+
+/// k-ary recursive partitioning: splits every range into `fanout` nearly
+/// equal sub-ranges until ranges have <= `leaf` qubits (Fig. 8's range_list
+/// recursion).
+Circuit qft_partitioned_recursive(std::int32_t n, std::int32_t fanout,
+                                  std::int32_t leaf);
+
+/// The QFT-IE block between [a0, a1) and [b0, b1) in original relative order.
+void append_qft_ie(Circuit& c, std::int32_t a0, std::int32_t a1,
+                   std::int32_t b0, std::int32_t b1);
+
+}  // namespace qfto

@@ -1,0 +1,51 @@
+#include "mapper/qft_state.hpp"
+
+#include <algorithm>
+
+namespace qfto {
+
+QftState::QftState(std::int32_t n)
+    : n_(n),
+      self_done_(n, 0),
+      pair_done_(static_cast<std::size_t>(n) * n, 0),
+      pending_smaller_(n, 0),
+      pairs_remaining_(static_cast<std::int64_t>(n) * (n - 1) / 2),
+      selfs_remaining_(n) {
+  require(n >= 0, "QftState: negative n");
+  for (std::int32_t a = 0; a < n; ++a) pending_smaller_[a] = a;
+}
+
+std::size_t QftState::idx(std::int32_t a, std::int32_t b) const {
+  const auto [lo, hi] = std::minmax(a, b);
+  return static_cast<std::size_t>(lo) * n_ + hi;
+}
+
+bool QftState::pair_done(std::int32_t a, std::int32_t b) const {
+  return pair_done_[idx(a, b)] != 0;
+}
+
+bool QftState::can_pair(std::int32_t a, std::int32_t b) const {
+  if (a == b || pair_done(a, b)) return false;
+  const auto [lo, hi] = std::minmax(a, b);
+  return self_done_[lo] && !self_done_[hi];
+}
+
+bool QftState::can_self(std::int32_t a) const {
+  return !self_done_[a] && pending_smaller_[a] == 0;
+}
+
+void QftState::mark_pair(std::int32_t a, std::int32_t b) {
+  require(a != b && !pair_done(a, b), "QftState::mark_pair: invalid");
+  pair_done_[idx(a, b)] = 1;
+  const std::int32_t hi = std::max(a, b);
+  --pending_smaller_[hi];
+  --pairs_remaining_;
+}
+
+void QftState::mark_self(std::int32_t a) {
+  require(!self_done_[a], "QftState::mark_self: already done");
+  self_done_[a] = 1;
+  --selfs_remaining_;
+}
+
+}  // namespace qfto

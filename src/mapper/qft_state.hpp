@@ -1,0 +1,53 @@
+// Progress tracker for the relaxed-ordering QFT dependence structure
+// (Insight 1, §3.1). The QFT on n objects consists of one "self" operation
+// per object (H at qubit granularity, QFT-IA at unit granularity) and one
+// pairwise operation per pair (CPHASE / QFT-IE). The only true dependences
+// (Type II) are:
+//   pair {a,b}, a<b: runs after self(a) and before self(b);
+//   self(a): runs after every pair {k,a} with k < a.
+// This class answers "may X run now?" and tracks completion; the same code
+// drives both qubit-level mappers and the unit-level divide-and-conquer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+class QftState {
+ public:
+  explicit QftState(std::int32_t n);
+
+  std::int32_t n() const { return n_; }
+
+  bool self_done(std::int32_t a) const { return self_done_[a]; }
+  bool pair_done(std::int32_t a, std::int32_t b) const;
+
+  /// Pair {a,b} may run iff not done, self(min) done, self(max) not done.
+  bool can_pair(std::int32_t a, std::int32_t b) const;
+
+  /// self(a) may run iff not done and every pair {k,a}, k<a is done.
+  bool can_self(std::int32_t a) const;
+
+  void mark_pair(std::int32_t a, std::int32_t b);
+  void mark_self(std::int32_t a);
+
+  std::int64_t pairs_remaining() const { return pairs_remaining_; }
+  std::int32_t selfs_remaining() const { return selfs_remaining_; }
+  bool all_done() const { return pairs_remaining_ == 0 && selfs_remaining_ == 0; }
+
+ private:
+  std::size_t idx(std::int32_t a, std::int32_t b) const;
+
+  std::int32_t n_ = 0;
+  std::vector<std::uint8_t> self_done_;
+  std::vector<std::uint8_t> pair_done_;
+  /// pending_smaller_[a] = #pairs {k,a}, k<a not yet done (gates self(a)).
+  std::vector<std::int32_t> pending_smaller_;
+  std::int64_t pairs_remaining_ = 0;
+  std::int32_t selfs_remaining_ = 0;
+};
+
+}  // namespace qfto

@@ -1,0 +1,74 @@
+#include "mapper/sycamore_mapper.hpp"
+
+#include "arch/sycamore.hpp"
+#include "mapper/emitter.hpp"
+#include "mapper/line_engine.hpp"
+#include "mapper/two_line_ie.hpp"
+#include "mapper/unit_driver.hpp"
+
+namespace qfto {
+
+MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie) {
+  require(m >= 2 && m % 2 == 0, "map_qft_sycamore: m must be even and >= 2");
+  const SycamoreLayout lay{m};
+  const CouplingGraph g = make_sycamore(m);
+  const std::int32_t n = lay.num_qubits();
+  const std::int32_t units = lay.num_units();
+  const std::int32_t len = lay.unit_len();
+
+  // Initial mapping: natural order along each unit line, units stacked —
+  // logical u*2m + p sits at line position p of unit slot u.
+  std::vector<PhysicalQubit> initial(n);
+  for (std::int32_t u = 0; u < units; ++u) {
+    for (std::int32_t p = 0; p < len; ++p) {
+      initial[u * len + p] = lay.unit_pos(u, p);
+    }
+  }
+  QftState state(n);
+  LayerEmitter em(g, initial, state);
+
+  // Physical line of each unit slot (slots are fixed; contents move).
+  std::vector<std::vector<PhysicalQubit>> slot_line(units);
+  for (std::int32_t u = 0; u < units; ++u) {
+    slot_line[u].resize(len);
+    for (std::int32_t p = 0; p < len; ++p) slot_line[u][p] = lay.unit_pos(u, p);
+  }
+
+  // Cross links between vertically adjacent slots, in line coordinates.
+  std::vector<CrossLink> cross;
+  for (std::int32_t pa = 1; pa < len; pa += 2) {
+    cross.push_back({pa, pa - 1});
+    if (pa + 1 < len) cross.push_back({pa, pa + 1});
+  }
+
+  UnitOps ops;
+  ops.ia = [&](std::int32_t s) { run_line_qft(em, slot_line[s]); };
+  ops.ie = [&](std::int32_t s) {
+    // Both units follow the same travel path (synced phases) — the Sycamore
+    // regime of §5; the engine's fix-up supplies the equal-position pairs.
+    TwoLineIeConfig cfg{0, 0};
+    cfg.strict = strict_ie;
+    run_two_line_ie(em, slot_line[s], slot_line[s + 1], cross, cfg);
+  };
+  ops.unit_swap = [&](std::int32_t s) {
+    // 3-step order-preserving unit SWAP across the cross-link matching
+    // {(lower 2c+1 of slot s, upper 2c of slot s+1)}:
+    //   cross matching, intra-unit pair layer in both units, cross matching.
+    const auto& a = slot_line[s];
+    const auto& b = slot_line[s + 1];
+    em.next_layer();
+    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) em.try_swap(a[2 * c + 1], b[2 * c]);
+    em.next_layer();
+    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) {
+      em.try_swap(a[2 * c], a[2 * c + 1]);
+      em.try_swap(b[2 * c], b[2 * c + 1]);
+    }
+    em.next_layer();
+    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) em.try_swap(a[2 * c + 1], b[2 * c]);
+  };
+
+  run_unit_qft(units, ops);
+  return std::move(em).finish();
+}
+
+}  // namespace qfto

@@ -1,0 +1,56 @@
+// QFT-IE: bipartite all-to-all interaction between two adjacent units whose
+// qubits each form a physical line (§3.3, §5, §6, Appendices 5 & 7).
+//
+// Both lines run the LNN-inspired travel path of Fig. 13(a): a full odd-even
+// SWAP layer per round, with a per-line parity phase. Between movement
+// layers, a CPHASE layer fires every open cross link whose logical pair is
+// still owed (relaxed ordering: all IE gates commute, §3.1, so any order
+// works). Two regimes from the paper:
+//   * Sycamore: both units synced (equal phases); pairs that start at equal
+//     line positions can then never meet (no equal-position link), so a
+//     fix-up desynchronizes one line for a single round and restores it —
+//     the paper's "SWAP horizontally, CPHASE, SWAP back" trick, batched.
+//   * Lattice surgery / 2D grid: links join equal positions, so the two
+//     lines must run with *different* phases (the bottom unit starts one
+//     step late, Fig. 16); the same fix-up logic covers boundary cases.
+// The engine is closed-loop: it counts the owed pairs up front and runs until
+// none remain, throwing if a round cap is exceeded (never observed; guards
+// against misconfigured link sets).
+#pragma once
+
+#include <vector>
+
+#include "mapper/emitter.hpp"
+
+namespace qfto {
+
+struct CrossLink {
+  std::int32_t pa;  // position in line A
+  std::int32_t pb;  // position in line B
+};
+
+struct TwoLineIeConfig {
+  std::int32_t parity_a = 0;  // movement phase of line A
+  std::int32_t parity_b = 0;  // movement phase of line B
+  /// QFT-IE-strict (Appendix 5, Fig. 25/26): also respect Type-I ordering —
+  /// pair (a_i, b_j) only after (a_i, b_{j'}) for j' < j and (a_{i'}, b_j)
+  /// for i' < i (ranks by logical index). Needed for kernels whose two-qubit
+  /// interactions do not commute; about 2x slower than relaxed (§3.3).
+  bool strict = false;
+};
+
+/// Executes QFT-IE between the occupants of lineA and lineB. Intra-line
+/// order on exit is whatever the travel path leaves (callers renormalize via
+/// the line engine's presort when they next run QFT-IA).
+void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
+                     const std::vector<PhysicalQubit>& line_b,
+                     const std::vector<CrossLink>& links,
+                     const TwoLineIeConfig& cfg = {});
+
+/// Full odd-even SWAP layer at `parity` on one line (the Fig. 13(a) step).
+/// Returns the number of SWAPs emitted. Does not advance the layer.
+std::int32_t line_shift_layer(LayerEmitter& em,
+                              const std::vector<PhysicalQubit>& line,
+                              std::int32_t parity);
+
+}  // namespace qfto

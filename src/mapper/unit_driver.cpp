@@ -1,0 +1,71 @@
+#include "mapper/unit_driver.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mapper/qft_state.hpp"
+
+namespace qfto {
+
+void run_unit_qft(std::int32_t num_units, const UnitOps& ops) {
+  require(num_units >= 1, "run_unit_qft: need at least one unit");
+  require(ops.ia && ops.ie && ops.unit_swap, "run_unit_qft: missing callbacks");
+  if (num_units == 1) {
+    ops.ia(0);
+    return;
+  }
+
+  QftState state(num_units);
+  std::vector<std::int32_t> occ(num_units);  // slot -> unit id
+  std::iota(occ.begin(), occ.end(), 0);
+
+  std::int32_t idle_rounds = 0;
+  while (!state.all_done()) {
+    bool progress = false;
+    std::vector<std::uint8_t> busy(num_units, 0);
+
+    // Interaction round: IE on adjacent slots, then IA on enabled units.
+    for (std::int32_t s = 0; s + 1 < num_units; ++s) {
+      if (busy[s] || busy[s + 1]) continue;
+      if (state.can_pair(occ[s], occ[s + 1])) {
+        ops.ie(s);
+        state.mark_pair(occ[s], occ[s + 1]);
+        busy[s] = busy[s + 1] = 1;
+        progress = true;
+      }
+    }
+    for (std::int32_t s = 0; s < num_units; ++s) {
+      if (!busy[s] && state.can_self(occ[s])) {
+        ops.ia(s);
+        state.mark_self(occ[s]);
+        busy[s] = 1;
+        progress = true;
+      }
+    }
+
+    // Movement round: unit reversal, crossing once interacted.
+    std::fill(busy.begin(), busy.end(), 0);
+    for (std::int32_t s = 0; s + 1 < num_units; ++s) {
+      if (busy[s] || busy[s + 1]) continue;
+      if (occ[s] < occ[s + 1] && state.pair_done(occ[s], occ[s + 1])) {
+        ops.unit_swap(s);
+        std::swap(occ[s], occ[s + 1]);
+        busy[s] = busy[s + 1] = 1;
+        progress = true;
+      }
+    }
+
+    if (!progress) {
+      if (++idle_rounds > 2) {
+        throw std::logic_error("run_unit_qft: stalled with " +
+                               std::to_string(state.pairs_remaining()) +
+                               " unit pairs pending");
+      }
+    } else {
+      idle_rounds = 0;
+    }
+  }
+}
+
+}  // namespace qfto

@@ -1,0 +1,34 @@
+// Unit-level divide-and-conquer (§3.2 + Fig. 14): the QFT over k units on a
+// "unit line" has exactly the dependence shape of the QFT itself —
+//   QFT-IA(U)      <->  H(q)        (self operation)
+//   QFT-IE(Ui,Uj)  <->  CPHASE(i,j) (pair operation)
+//   unit SWAP      <->  SWAP
+// — so the same greedy reversal that drives the LNN base case schedules the
+// units: IE on adjacent unit slots when the window (IA(min) done, IA(max)
+// not) is open, IA when every smaller IE arrived, unit swaps once a pair of
+// adjacent units has interacted and still needs to cross. The callbacks
+// realize each unit-level operation as concrete hardware gates; operations on
+// disjoint units emitted in the same round are re-parallelized by the ASAP
+// scheduler when depth is measured.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+struct UnitOps {
+  /// QFT-IA on the unit currently in slot `s`.
+  std::function<void(std::int32_t s)> ia;
+  /// QFT-IE between the units currently in adjacent slots `s` and `s+1`.
+  std::function<void(std::int32_t s)> ie;
+  /// Unit SWAP between adjacent slots `s` and `s+1`.
+  std::function<void(std::int32_t s)> unit_swap;
+};
+
+/// Runs the unit-level QFT over `num_units` slots whose initial occupants are
+/// units 0..num_units-1 in slot order. Throws on stall.
+void run_unit_qft(std::int32_t num_units, const UnitOps& ops);
+
+}  // namespace qfto

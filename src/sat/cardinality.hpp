@@ -1,0 +1,23 @@
+// Cardinality encodings over our SAT solver: exactly-one (pairwise) and
+// at-most-k (sequential counter, Sinz 2005) — the pieces SATMAP needs for
+// mapping injectivity and SWAP-budget constraints.
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace qfto::sat {
+
+/// At least one of `lits`.
+void add_at_least_one(Solver& s, const std::vector<Lit>& lits);
+
+/// Pairwise at-most-one.
+void add_at_most_one(Solver& s, const std::vector<Lit>& lits);
+
+void add_exactly_one(Solver& s, const std::vector<Lit>& lits);
+
+/// Sequential-counter at-most-k (creates O(n*k) auxiliary variables).
+void add_at_most_k(Solver& s, const std::vector<Lit>& lits, std::int32_t k);
+
+}  // namespace qfto::sat

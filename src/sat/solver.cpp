@@ -1,0 +1,308 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace qfto::sat {
+
+std::int32_t Solver::new_var() {
+  const std::int32_t v = num_vars();
+  assign_.push_back(kUndef);
+  level_.push_back(-1);
+  reason_.push_back(-1);
+  phase_.push_back(0);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return;
+  // Normalize: drop duplicate literals; detect tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // x ∨ ¬x: tautology
+  }
+  // Remove literals already false at level 0; satisfied clauses are dropped.
+  std::vector<Lit> kept;
+  for (Lit l : lits) {
+    require(l.var() >= 0 && l.var() < num_vars(), "add_clause: unknown var");
+    const std::int8_t v = lit_value(l);
+    if (v == kTrue && level_[l.var()] == 0) return;
+    if (v == kFalse && level_[l.var()] == 0) continue;
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (lit_value(kept[0]) == kFalse) {
+      unsat_ = true;
+    } else if (lit_value(kept[0]) == kUndef) {
+      enqueue(kept[0], -1);
+      if (propagate() >= 0) unsat_ = true;
+    }
+    return;
+  }
+  const std::int32_t ci = static_cast<std::int32_t>(clauses_.size());
+  clauses_.push_back({std::move(kept), false, 0.0});
+  watches_[clauses_[ci].lits[0].code].push_back(ci);
+  watches_[clauses_[ci].lits[1].code].push_back(ci);
+}
+
+void Solver::enqueue(Lit l, std::int32_t reason) {
+  assign_[l.var()] = l.sign() ? kFalse : kTrue;
+  level_[l.var()] =
+      static_cast<std::int32_t>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+std::int32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    auto& watch_list = watches_[(~p).code];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
+      const std::int32_t ci = watch_list[wi];
+      auto& lits = clauses_[ci].lits;
+      // Ensure the falsified literal is at slot 1.
+      if (lits[0] == ~p) std::swap(lits[0], lits[1]);
+      if (lit_value(lits[0]) == kTrue) {
+        watch_list[keep++] = ci;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (lit_value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[lits[1].code].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (lit_value(lits[0]) == kFalse) {
+        // Conflict: keep remaining watches and report.
+        for (std::size_t rest = wi + 1; rest < watch_list.size(); ++rest) {
+          watch_list[keep++] = watch_list[rest];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(std::int32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_var_activity() { var_inc_ *= (1.0 / 0.95); }
+
+void Solver::analyze(std::int32_t confl, std::vector<Lit>& learnt,
+                     std::int32_t& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit{-1});  // slot for the asserting literal
+  std::vector<std::uint8_t> seen(num_vars(), 0);
+  std::int32_t counter = 0;
+  Lit p{-1};
+  std::size_t index = trail_.size();
+  const std::int32_t current_level =
+      static_cast<std::int32_t>(trail_lim_.size());
+
+  std::int32_t ci = confl;
+  do {
+    const auto& lits = clauses_[ci].lits;
+    for (const Lit q : lits) {
+      if (p.code != -1 && q == p) continue;
+      if (!seen[q.var()] && level_[q.var()] > 0) {
+        seen[q.var()] = 1;
+        bump_var(q.var());
+        if (level_[q.var()] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Walk back the trail to the next marked literal.
+    while (!seen[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    seen[p.var()] = 0;
+    ci = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+}
+
+void Solver::backtrack(std::int32_t target_level) {
+  while (static_cast<std::int32_t>(trail_lim_.size()) > target_level) {
+    const std::int32_t lim = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (static_cast<std::int32_t>(trail_.size()) > lim) {
+      const Lit l = trail_.back();
+      trail_.pop_back();
+      phase_[l.var()] = l.sign() ? 0 : 1;
+      assign_[l.var()] = kUndef;
+      reason_[l.var()] = -1;
+      level_[l.var()] = -1;
+    }
+  }
+  qhead_ = trail_.size();
+}
+
+void Solver::rebuild_order() {
+  order_.resize(num_vars());
+  for (std::int32_t v = 0; v < num_vars(); ++v) order_[v] = v;
+  std::sort(order_.begin(), order_.end(), [this](std::int32_t a, std::int32_t b) {
+    return activity_[a] > activity_[b];
+  });
+}
+
+Lit Solver::pick_branch() {
+  for (std::int32_t v : order_) {
+    if (assign_[v] == kUndef) {
+      return phase_[v] ? Lit::pos(v) : Lit::neg(v);
+    }
+  }
+  for (std::int32_t v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == kUndef) return phase_[v] ? Lit::pos(v) : Lit::neg(v);
+  }
+  return Lit{-1};
+}
+
+void Solver::reduce_learnts() {
+  // Simple policy: drop the lower-activity half of long learnt clauses that
+  // are not currently reasons. Rebuild watches afterwards.
+  std::vector<Clause> kept;
+  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
+  for (std::int32_t v = 0; v < num_vars(); ++v) {
+    if (reason_[v] >= 0) is_reason[reason_[v]] = 1;
+  }
+  std::vector<double> acts;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learnt && !is_reason[i] && clauses_[i].lits.size() > 2) {
+      acts.push_back(clauses_[i].activity);
+    }
+  }
+  if (acts.size() < 64) return;
+  std::nth_element(acts.begin(), acts.begin() + acts.size() / 2, acts.end());
+  const double cutoff = acts[acts.size() / 2];
+
+  std::vector<std::int32_t> remap(clauses_.size(), -1);
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    const bool drop = clauses_[i].learnt && !is_reason[i] &&
+                      clauses_[i].lits.size() > 2 &&
+                      clauses_[i].activity < cutoff;
+    if (!drop) {
+      remap[i] = static_cast<std::int32_t>(kept.size());
+      kept.push_back(std::move(clauses_[i]));
+    }
+  }
+  for (std::int32_t v = 0; v < num_vars(); ++v) {
+    if (reason_[v] >= 0) reason_[v] = remap[reason_[v]];
+  }
+  clauses_ = std::move(kept);
+  for (auto& w : watches_) w.clear();
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    watches_[clauses_[i].lits[0].code].push_back(static_cast<std::int32_t>(i));
+    watches_[clauses_[i].lits[1].code].push_back(static_cast<std::int32_t>(i));
+  }
+}
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 ...
+  std::int64_t k = 1;
+  while ((1ll << (k + 1)) <= i + 1) ++k;
+  while ((1ll << k) - 1 != i + 1) {
+    i = i - (1ll << k) + 1;
+    k = 1;
+    while ((1ll << (k + 1)) <= i + 1) ++k;
+  }
+  return 1ll << (k - 1);
+}
+
+Result Solver::solve(double budget_seconds) {
+  if (unsat_) return Result::kUnsat;
+  Deadline deadline(budget_seconds);
+  if (propagate() >= 0) return Result::kUnsat;
+
+  std::int64_t restart_idx = 0;
+  std::int64_t conflicts_until_restart = 32 * luby(restart_idx);
+  rebuild_order();
+
+  while (true) {
+    const std::int32_t confl = propagate();
+    if (confl >= 0) {
+      ++conflicts_;
+      clauses_[confl].activity += 1.0;
+      if (trail_lim_.empty()) return Result::kUnsat;
+      std::vector<Lit> learnt;
+      std::int32_t bt = 0;
+      analyze(confl, learnt, bt);
+      backtrack(bt);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        const std::int32_t ci = static_cast<std::int32_t>(clauses_.size());
+        clauses_.push_back({learnt, true, 1.0});
+        watches_[learnt[0].code].push_back(ci);
+        watches_[learnt[1].code].push_back(ci);
+        enqueue(learnt[0], ci);
+      }
+      decay_var_activity();
+      if (--conflicts_until_restart <= 0) {
+        backtrack(0);
+        conflicts_until_restart = 32 * luby(++restart_idx);
+        rebuild_order();
+        if (conflicts_ % 4096 == 0) reduce_learnts();
+      }
+      if ((conflicts_ & 255) == 0 && deadline.expired()) {
+        return Result::kTimeout;
+      }
+    } else {
+      const Lit next = pick_branch();
+      if (next.code == -1) return Result::kSat;
+      ++decisions_;
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      enqueue(next, -1);
+      if ((decisions_ & 1023) == 0) {
+        if (deadline.expired()) return Result::kTimeout;
+        rebuild_order();
+      }
+    }
+  }
+}
+
+bool Solver::value(std::int32_t var) const { return assign_[var] == kTrue; }
+
+}  // namespace qfto::sat

@@ -1,0 +1,38 @@
+#include "sim/dft.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+void qft_reference(std::vector<std::complex<double>>& a) {
+  const std::size_t n = a.size();
+  require(n != 0 && (n & (n - 1)) == 0, "qft_reference: size not a power of 2");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Cooley-Tukey with the + sign (inverse-DFT convention used by the QFT).
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wl = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = a[i + k];
+        const auto v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (auto& x : a) x *= scale;
+}
+
+}  // namespace qfto

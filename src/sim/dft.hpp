@@ -1,0 +1,16 @@
+// Reference discrete Fourier transform of an amplitude vector. The n-qubit
+// QFT acts on amplitudes exactly as out[y] = (1/sqrt(D)) * sum_x in[x] *
+// exp(+2*pi*i*x*y/D) with D = 2^n, so an iterative radix-2 FFT gives an
+// O(D log D) independent oracle for the simulator tests.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace qfto {
+
+/// In-place unitary DFT with the +i sign convention above. Size must be a
+/// power of two.
+void qft_reference(std::vector<std::complex<double>>& amplitudes);
+
+}  // namespace qfto

@@ -1,0 +1,174 @@
+#include "sim/statevector.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace qfto {
+
+namespace {
+
+std::atomic<std::int32_t> g_threads{1};
+constexpr std::uint64_t kParallelThreshold = std::uint64_t{1} << 18;
+
+// Fork/join over [0, total) in contiguous chunks. `body(lo, hi)` must be
+// safe on disjoint ranges.
+template <typename Body>
+void parallel_for(std::uint64_t total, const Body& body) {
+  const std::int32_t threads = g_threads.load(std::memory_order_relaxed);
+  if (threads <= 1 || total < kParallelThreshold) {
+    body(0, total);
+    return;
+  }
+  std::vector<std::thread> pool;
+  const std::uint64_t chunk = (total + threads - 1) / threads;
+  for (std::int32_t t = 0; t < threads; ++t) {
+    const std::uint64_t lo = chunk * t;
+    const std::uint64_t hi = std::min(total, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&body, lo, hi] { body(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+void StateVector::set_num_threads(std::int32_t threads) {
+  require(threads >= 1, "StateVector::set_num_threads: threads >= 1");
+  g_threads.store(threads, std::memory_order_relaxed);
+}
+
+std::int32_t StateVector::num_threads() {
+  return g_threads.load(std::memory_order_relaxed);
+}
+
+StateVector::StateVector(std::int32_t num_qubits) : n_(num_qubits) {
+  require(num_qubits >= 0 && num_qubits <= 28,
+          "StateVector: qubit count out of supported range");
+  amp_.assign(std::uint64_t{1} << n_, Amplitude{0.0, 0.0});
+  amp_[0] = Amplitude{1.0, 0.0};
+}
+
+StateVector StateVector::basis(std::int32_t num_qubits, std::uint64_t x) {
+  StateVector sv(num_qubits);
+  require(x < sv.dim(), "StateVector::basis: index out of range");
+  sv.amp_[0] = Amplitude{0.0, 0.0};
+  sv.amp_[x] = Amplitude{1.0, 0.0};
+  return sv;
+}
+
+void StateVector::apply(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kH: apply_h(g.q0); break;
+    case GateKind::kX: apply_x(g.q0); break;
+    case GateKind::kRz: apply_rz(g.q0, g.angle); break;
+    case GateKind::kCPhase: apply_cphase(g.q0, g.q1, g.angle); break;
+    case GateKind::kSwap: apply_swap(g.q0, g.q1); break;
+    case GateKind::kCnot: apply_cnot(g.q0, g.q1); break;
+  }
+}
+
+void StateVector::apply(const Circuit& c) {
+  require(c.num_qubits() == n_, "StateVector::apply: qubit count mismatch");
+  for (const auto& g : c) apply(g);
+}
+
+void StateVector::apply_h(std::int32_t q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  // Each k in [0, dim/2) names one (i0, i1) pair; pairs are disjoint, so the
+  // loop parallelizes over contiguous k-ranges without synchronization.
+  parallel_for(dim() >> 1, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t k = lo; k < hi; ++k) {
+      const std::uint64_t i0 = ((k & ~(bit - 1)) << 1) | (k & (bit - 1));
+      const std::uint64_t i1 = i0 | bit;
+      const Amplitude a0 = amp_[i0], a1 = amp_[i1];
+      amp_[i0] = (a0 + a1) * inv_sqrt2;
+      amp_[i1] = (a0 - a1) * inv_sqrt2;
+    }
+  });
+}
+
+void StateVector::apply_x(std::int32_t q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t base = 0; base < dim(); base += bit << 1) {
+    for (std::uint64_t off = 0; off < bit; ++off) {
+      std::swap(amp_[base | off], amp_[base | off | bit]);
+    }
+  }
+}
+
+void StateVector::apply_rz(std::int32_t q, double angle) {
+  // diag(1, e^{i*angle}) up to global phase.
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const Amplitude phase = std::polar(1.0, angle);
+  parallel_for(dim(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      if (i & bit) amp_[i] *= phase;
+    }
+  });
+}
+
+void StateVector::apply_cphase(std::int32_t a, std::int32_t b, double angle) {
+  const std::uint64_t mask = (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+  const Amplitude phase = std::polar(1.0, angle);
+  parallel_for(dim(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      if ((i & mask) == mask) amp_[i] *= phase;
+    }
+  });
+}
+
+void StateVector::apply_swap(std::int32_t a, std::int32_t b) {
+  const std::uint64_t ba = std::uint64_t{1} << a;
+  const std::uint64_t bb = std::uint64_t{1} << b;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    const bool va = i & ba, vb = i & bb;
+    if (va && !vb) {
+      const std::uint64_t j = (i & ~ba) | bb;
+      std::swap(amp_[i], amp_[j]);
+    }
+  }
+}
+
+void StateVector::apply_cnot(std::int32_t control, std::int32_t target) {
+  const std::uint64_t bc = std::uint64_t{1} << control;
+  const std::uint64_t bt = std::uint64_t{1} << target;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    if ((i & bc) && !(i & bt)) {
+      std::swap(amp_[i], amp_[i | bt]);
+    }
+  }
+}
+
+void StateVector::permute_qubits(const std::vector<std::int32_t>& perm) {
+  require(perm.size() == static_cast<std::size_t>(n_),
+          "permute_qubits: wrong permutation size");
+  std::vector<Amplitude> out(dim());
+  for (std::uint64_t x = 0; x < dim(); ++x) {
+    std::uint64_t y = 0;
+    for (std::int32_t q = 0; q < n_; ++q) {
+      if (x & (std::uint64_t{1} << q)) y |= std::uint64_t{1} << perm[q];
+    }
+    out[y] = amp_[x];
+  }
+  amp_ = std::move(out);
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const auto& a : amp_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+double StateVector::overlap(const StateVector& a, const StateVector& b) {
+  require(a.n_ == b.n_, "overlap: dimension mismatch");
+  Amplitude dot{0.0, 0.0};
+  for (std::uint64_t i = 0; i < a.dim(); ++i) {
+    dot += std::conj(a.amp_[i]) * b.amp_[i];
+  }
+  return std::abs(dot);
+}
+
+}  // namespace qfto

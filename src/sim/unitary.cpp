@@ -1,0 +1,33 @@
+#include "sim/unitary.hpp"
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+
+namespace qfto {
+
+Unitary circuit_unitary(const Circuit& c) {
+  require(c.num_qubits() <= 12, "circuit_unitary: matrix would be too large");
+  const std::uint64_t dim = std::uint64_t{1} << c.num_qubits();
+  Unitary u(dim);
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    StateVector sv = StateVector::basis(c.num_qubits(), x);
+    sv.apply(c);
+    u[x] = sv.amplitudes();
+  }
+  return u;
+}
+
+double unitary_distance(const Unitary& a, const Unitary& b) {
+  require(a.size() == b.size(), "unitary_distance: dimension mismatch");
+  double worst = 0.0;
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    require(a[x].size() == b[x].size(), "unitary_distance: column mismatch");
+    for (std::size_t y = 0; y < a[x].size(); ++y) {
+      worst = std::max(worst, std::abs(a[x][y] - b[x][y]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace qfto

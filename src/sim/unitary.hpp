@@ -1,0 +1,21 @@
+// Full-unitary extraction for small circuits (matrix tests, n <= ~8).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qfto {
+
+/// Column-major unitary: U[y][x] would be row y, col x; we store
+/// u[x] = circuit applied to |x>, i.e. u[x][y] is amplitude <y|U|x>.
+using Unitary = std::vector<std::vector<std::complex<double>>>;
+
+Unitary circuit_unitary(const Circuit& c);
+
+/// Max |a - b| over all entries, after aligning global phase per column is
+/// NOT done — the circuits we compare agree exactly, not just per-phase.
+double unitary_distance(const Unitary& a, const Unitary& b);
+
+}  // namespace qfto

@@ -1,0 +1,69 @@
+#include "synth/inter_unit_spec.hpp"
+
+#include <numeric>
+
+namespace qfto {
+
+double travel_path_coverage(std::int32_t line_len, CrossLinkFamily family,
+                            const TravelPathParams& params) {
+  require(line_len >= 2, "travel_path_coverage: line too short");
+  const std::int32_t L = line_len;
+  std::vector<std::int32_t> occ_a(L), occ_b(L);
+  std::iota(occ_a.begin(), occ_a.end(), 0);
+  std::iota(occ_b.begin(), occ_b.end(), 0);
+
+  std::vector<std::uint8_t> met(static_cast<std::size_t>(L) * L, 0);
+  auto meet = [&](std::int32_t pa, std::int32_t pb) {
+    met[static_cast<std::size_t>(occ_a[pa]) * L + occ_b[pb]] = 1;
+  };
+  auto shift = [L](std::vector<std::int32_t>& occ, std::int32_t parity) {
+    for (std::int32_t i = parity & 1; i + 1 < L; i += 2) {
+      std::swap(occ[i], occ[i + 1]);
+    }
+  };
+
+  const std::int64_t rounds =
+      static_cast<std::int64_t>(params.rounds_coeff) * L + params.rounds_offset;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    if (family == CrossLinkFamily::kOffsetByOne) {
+      for (std::int32_t p = 1; p < L; p += 2) {
+        meet(p, p - 1);
+        if (p + 1 < L) meet(p, p + 1);
+      }
+    } else {
+      for (std::int32_t p = 0; p < L; ++p) meet(p, p);
+    }
+    shift(occ_a, static_cast<std::int32_t>(r + params.phase_a));
+    shift(occ_b, static_cast<std::int32_t>(r + params.phase_b));
+  }
+
+  std::int64_t required = 0, satisfied = 0;
+  for (std::int32_t a = 0; a < L; ++a) {
+    for (std::int32_t b = 0; b < L; ++b) {
+      if (family == CrossLinkFamily::kOffsetByOne && a == b) {
+        continue;  // paper's exclusion: fixed by the swap-out trick
+      }
+      ++required;
+      satisfied += met[static_cast<std::size_t>(a) * L + b];
+    }
+  }
+  return required == 0 ? 1.0
+                       : static_cast<double>(satisfied) /
+                             static_cast<double>(required);
+}
+
+Sketch make_travel_path_sketch() {
+  return Sketch({
+      {"phase_a", {0, 1}},
+      {"phase_b", {0, 1}},
+      {"rounds_coeff", {1, 2, 3}},
+      {"rounds_offset", {-2, -1, 0, 1, 2}},
+  });
+}
+
+TravelPathParams decode_travel_path(const HoleAssignment& a) {
+  require(a.size() == 4, "decode_travel_path: wrong assignment size");
+  return TravelPathParams{a[0], a[1], a[2], a[3]};
+}
+
+}  // namespace qfto

@@ -1,0 +1,48 @@
+// Abstract (position-only) model of the inter-unit travel-path template and
+// the all-pairs-meet specifications of Appendices 5 and 7. This is the
+// "implementation + specification" pair fed to the sketch solver: the
+// template is
+//     for i in 0 .. T-1:
+//         CPHASE on every open cross link
+//         odd-even SWAP layer on line A at parity (i + phase_a) mod 2
+//         odd-even SWAP layer on line B at parity (i + phase_b) mod 2
+// with holes phase_a, phase_b and T = coeff*L + offset, and the spec asks
+// that every (A,B) occupant pair aligns with a cross link at least once —
+// except pairs the backend provably cannot align (Sycamore's equal-position
+// pairs), which the paper fixes with the swap-out trick.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "synth/sketch.hpp"
+
+namespace qfto {
+
+enum class CrossLinkFamily {
+  kOffsetByOne,    // Sycamore: A position p (odd) ~ B position p±1 (§5)
+  kEqualPosition,  // 2D grid / lattice surgery verticals (Appendix 7)
+};
+
+struct TravelPathParams {
+  std::int32_t phase_a = 0;
+  std::int32_t phase_b = 0;
+  std::int32_t rounds_coeff = 2;   // T = rounds_coeff * L + rounds_offset
+  std::int32_t rounds_offset = 0;
+};
+
+/// Fraction of required pairs that meet under the parameters (1.0 = spec
+/// satisfied). For kOffsetByOne, equal-start-position pairs are excluded from
+/// the requirement, mirroring the paper's specification.
+double travel_path_coverage(std::int32_t line_len, CrossLinkFamily family,
+                            const TravelPathParams& params);
+
+/// The hole space used by the paper-shaped sketch (phases in {0,1},
+/// coefficient in {1,2,3}, offset in {-2..2}).
+Sketch make_travel_path_sketch();
+
+/// Decodes a sketch assignment into parameters (same hole order as
+/// make_travel_path_sketch).
+TravelPathParams decode_travel_path(const HoleAssignment& a);
+
+}  // namespace qfto

@@ -1,0 +1,52 @@
+#include "synth/sketch.hpp"
+
+#include <optional>
+
+namespace qfto {
+
+Sketch::Sketch(std::vector<Hole> holes) : holes_(std::move(holes)) {
+  for (const auto& h : holes_) {
+    require(!h.domain.empty(), "Sketch: hole with empty domain");
+  }
+}
+
+std::int64_t Sketch::space_size() const {
+  std::int64_t size = 1;
+  for (const auto& h : holes_) size *= static_cast<std::int64_t>(h.domain.size());
+  return size;
+}
+
+std::optional<HoleAssignment> Sketch::solve(const SketchSpec& spec) const {
+  auto all = solve_all(spec, 1);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::vector<HoleAssignment> Sketch::solve_all(const SketchSpec& spec,
+                                              std::int64_t limit) const {
+  tried_ = 0;
+  std::vector<HoleAssignment> found;
+  HoleAssignment current(holes_.size());
+  std::vector<std::size_t> idx(holes_.size(), 0);
+  const std::size_t k = holes_.size();
+  while (true) {
+    for (std::size_t i = 0; i < k; ++i) current[i] = holes_[i].domain[idx[i]];
+    ++tried_;
+    if (spec(current)) {
+      found.push_back(current);
+      if (static_cast<std::int64_t>(found.size()) >= limit) return found;
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < k) {
+      if (++idx[pos] < holes_[pos].domain.size()) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) break;
+    if (k == 0) break;
+  }
+  return found;
+}
+
+}  // namespace qfto

@@ -1,0 +1,53 @@
+// Sketch-lite: enumerative program synthesis over integer holes (§2.4).
+// The paper uses SKETCH to fill "??" holes in affine loop templates for the
+// inter-unit travel paths (Appendices 5 and 7); the hole spaces involved are
+// tiny (phases in {0,1}, loop-bound coefficients in small ranges), so an
+// exhaustive enumerator with a semantic specification callback reproduces the
+// workflow faithfully and deterministically.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+struct Hole {
+  std::string name;
+  std::vector<std::int32_t> domain;
+};
+
+/// An assignment gives each hole (by index) a value from its domain.
+using HoleAssignment = std::vector<std::int32_t>;
+
+/// Returns true when the candidate program satisfies the specification.
+using SketchSpec = std::function<bool(const HoleAssignment&)>;
+
+class Sketch {
+ public:
+  explicit Sketch(std::vector<Hole> holes);
+
+  const std::vector<Hole>& holes() const { return holes_; }
+
+  /// Total size of the search space (product of domain sizes).
+  std::int64_t space_size() const;
+
+  /// First satisfying assignment in lexicographic domain order, if any.
+  std::optional<HoleAssignment> solve(const SketchSpec& spec) const;
+
+  /// All satisfying assignments (bounded by `limit`).
+  std::vector<HoleAssignment> solve_all(const SketchSpec& spec,
+                                        std::int64_t limit = 1 << 20) const;
+
+  /// Number of candidates examined by the last solve call.
+  std::int64_t candidates_tried() const { return tried_; }
+
+ private:
+  std::vector<Hole> holes_;
+  mutable std::int64_t tried_ = 0;
+};
+
+}  // namespace qfto

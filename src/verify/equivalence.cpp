@@ -1,0 +1,74 @@
+#include "verify/equivalence.hpp"
+
+#include <cmath>
+
+#include "circuit/qft_spec.hpp"
+#include "common/prng.hpp"
+#include "sim/statevector.hpp"
+
+namespace qfto {
+
+namespace {
+
+std::uint64_t embed_index(std::uint64_t x,
+                          const std::vector<PhysicalQubit>& map) {
+  std::uint64_t y = 0;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (x & (std::uint64_t{1} << i)) y |= std::uint64_t{1} << map[i];
+  }
+  return y;
+}
+
+}  // namespace
+
+double mapped_equivalence_error(const MappedCircuit& mc, std::int32_t trials,
+                                std::uint64_t seed, const Circuit* logical) {
+  const std::int32_t n = mc.num_logical();
+  const std::int32_t p = mc.num_physical();
+  require(p <= 22, "mapped_equivalence_error: physical register too large");
+  Circuit fallback;
+  if (logical == nullptr) {
+    fallback = qft_logical(n);
+    logical = &fallback;
+  }
+  Xoshiro256ss rng(seed);
+  double worst = 0.0;
+  const std::uint64_t ldim = std::uint64_t{1} << n;
+
+  for (std::int32_t t = 0; t < trials; ++t) {
+    // Random normalized logical state.
+    std::vector<Amplitude> psi(ldim);
+    double norm2 = 0.0;
+    for (auto& a : psi) {
+      a = Amplitude{rng.uniform_double() - 0.5, rng.uniform_double() - 0.5};
+      norm2 += std::norm(a);
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& a : psi) a *= inv;
+
+    // Hardware side: embed through the initial mapping, run the circuit.
+    StateVector phys(p);
+    auto& pa = phys.amplitudes();
+    pa.assign(pa.size(), Amplitude{0.0, 0.0});
+    for (std::uint64_t x = 0; x < ldim; ++x) {
+      pa[embed_index(x, mc.initial)] = psi[x];
+    }
+    phys.apply(mc.circuit);
+
+    // Reference side: run the logical circuit, embed through final mapping.
+    StateVector ref(n);
+    ref.amplitudes() = psi;
+    ref.apply(*logical);
+
+    std::vector<Amplitude> expected(pa.size(), Amplitude{0.0, 0.0});
+    for (std::uint64_t y = 0; y < ldim; ++y) {
+      expected[embed_index(y, mc.final_mapping)] = ref.amplitudes()[y];
+    }
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      worst = std::max(worst, std::abs(pa[i] - expected[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace qfto

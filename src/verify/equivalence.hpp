@@ -1,0 +1,22 @@
+// Dynamic (simulation-based) equivalence between a mapped hardware circuit
+// and the logical QFT. Complements the static checker: the checker proves the
+// schedule is a valid relaxed reordering; this proves the unitary itself on
+// random states, catching any error in the checker's own reasoning.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/mapped_circuit.hpp"
+
+namespace qfto {
+
+/// Max |amplitude difference| between (mapped circuit applied to an embedded
+/// random logical state, read out through the final mapping) and (reference
+/// logical circuit applied to the same state), over `trials` random states.
+/// `logical` defaults to qft_logical(n) when null.
+double mapped_equivalence_error(const MappedCircuit& mc,
+                                std::int32_t trials = 4,
+                                std::uint64_t seed = 0x51ab5,
+                                const Circuit* logical = nullptr);
+
+}  // namespace qfto

@@ -1,0 +1,25 @@
+#include "verify/fidelity.hpp"
+
+#include <cmath>
+
+#include "circuit/stats.hpp"
+
+namespace qfto {
+
+double log10_fidelity(const Circuit& c, const NoiseModel& model,
+                      const LatencyFn& latency) {
+  const GateCounts gc = count_gates(c);
+  const double one_q = static_cast<double>(gc.h + gc.x + gc.rz);
+  // SWAP = 3 CNOTs; CPHASE = 2 CNOTs (see circuit/transforms.hpp).
+  const double two_q = static_cast<double>(gc.cnot) +
+                       3.0 * static_cast<double>(gc.swap) +
+                       2.0 * static_cast<double>(gc.cphase);
+  const Cycle depth = circuit_depth(c, latency);
+  double log10f = one_q * std::log10(1.0 - model.error_1q) +
+                  two_q * std::log10(1.0 - model.error_2q);
+  log10f += -static_cast<double>(depth) / model.coherence_cycles /
+            std::log(10.0);
+  return log10f;
+}
+
+}  // namespace qfto

@@ -1,0 +1,28 @@
+// Depth- and gate-count-driven fidelity estimate. The paper's motivation for
+// minimizing both metrics is noise: "smaller depth and fewer gate operations
+// mean a lower possibility of being affected by external noise" (§7). This
+// model turns the two compilation metrics into one comparable success
+// probability:
+//     F = (1-e1)^{#1q} * (1-e2)^{#2q-equivalents} * exp(-depth/T)
+// with SWAP counted as three two-qubit gates and T an idle-coherence horizon
+// in cycles. Default rates are representative NISQ numbers; the model is for
+// *relative* comparison (ours vs SABRE), not absolute prediction.
+#pragma once
+
+#include "circuit/mapped_circuit.hpp"
+#include "circuit/scheduler.hpp"
+
+namespace qfto {
+
+struct NoiseModel {
+  double error_1q = 1e-4;
+  double error_2q = 5e-3;
+  double coherence_cycles = 2e4;  // T in units of scheduler cycles
+};
+
+/// log10 of the estimated success probability (log keeps hundreds of
+/// thousands of gates representable; higher is better).
+double log10_fidelity(const Circuit& c, const NoiseModel& model = {},
+                      const LatencyFn& latency = unit_latency);
+
+}  // namespace qfto

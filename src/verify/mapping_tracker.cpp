@@ -1,0 +1,30 @@
+#include "verify/mapping_tracker.hpp"
+
+namespace qfto {
+
+MappingTracker::MappingTracker(
+    const std::vector<PhysicalQubit>& logical_to_physical,
+    std::int32_t num_physical)
+    : l2p_(logical_to_physical), p2l_(num_physical, kInvalidQubit) {
+  require(static_cast<std::int32_t>(l2p_.size()) <= num_physical,
+          "MappingTracker: more logical than physical qubits");
+  for (std::size_t l = 0; l < l2p_.size(); ++l) {
+    const PhysicalQubit p = l2p_[l];
+    require(p >= 0 && p < num_physical, "MappingTracker: mapping out of range");
+    require(p2l_[p] == kInvalidQubit, "MappingTracker: mapping not injective");
+    p2l_[p] = static_cast<LogicalQubit>(l);
+  }
+}
+
+void MappingTracker::apply_swap(PhysicalQubit a, PhysicalQubit b) {
+  require(a >= 0 && b >= 0 && a < num_physical() && b < num_physical() &&
+              a != b,
+          "MappingTracker::apply_swap: bad nodes");
+  const LogicalQubit la = p2l_[a], lb = p2l_[b];
+  p2l_[a] = lb;
+  p2l_[b] = la;
+  if (la != kInvalidQubit) l2p_[la] = b;
+  if (lb != kInvalidQubit) l2p_[lb] = a;
+}
+
+}  // namespace qfto

@@ -1,0 +1,41 @@
+// Bidirectional logical<->physical mapping that follows SWAP gates.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+class MappingTracker {
+ public:
+  MappingTracker() = default;
+
+  /// logical_to_physical[l] = physical qubit initially holding logical l.
+  MappingTracker(const std::vector<PhysicalQubit>& logical_to_physical,
+                 std::int32_t num_physical);
+
+  std::int32_t num_logical() const {
+    return static_cast<std::int32_t>(l2p_.size());
+  }
+  std::int32_t num_physical() const {
+    return static_cast<std::int32_t>(p2l_.size());
+  }
+
+  /// Physical location of logical qubit l.
+  PhysicalQubit physical_of(LogicalQubit l) const { return l2p_[l]; }
+
+  /// Logical qubit at physical node p, or kInvalidQubit if unoccupied.
+  LogicalQubit logical_at(PhysicalQubit p) const { return p2l_[p]; }
+
+  /// Exchanges the contents of two physical nodes (either may be empty).
+  void apply_swap(PhysicalQubit a, PhysicalQubit b);
+
+  const std::vector<PhysicalQubit>& logical_to_physical() const { return l2p_; }
+
+ private:
+  std::vector<PhysicalQubit> l2p_;
+  std::vector<LogicalQubit> p2l_;
+};
+
+}  // namespace qfto

@@ -1,0 +1,37 @@
+// Static verifier for mapped QFT circuits — the analogue of the paper's
+// correctness simulator, but exhaustive and size-independent. It replays the
+// hardware circuit while tracking the logical mapping and asserts:
+//   1. every two-qubit gate acts on a coupling-graph edge;
+//   2. every logical pair {i,j} receives exactly one CPHASE, with the QFT
+//      angle pi/2^{j-i};
+//   3. every logical qubit receives exactly one H;
+//   4. relaxed-ordering validity (Type II of §3.1): a CPHASE on {i,j}, i<j,
+//      executes after H(i) and before H(j) — a schedule satisfying this is
+//      unitarily equal to the textbook QFT, which the equivalence tests
+//      confirm independently on small sizes;
+//   5. the declared final mapping matches the tracked one.
+#pragma once
+
+#include <string>
+
+#include "arch/coupling_graph.hpp"
+#include "arch/latency_model.hpp"
+#include "circuit/mapped_circuit.hpp"
+#include "circuit/stats.hpp"
+
+namespace qfto {
+
+struct QftCheckResult {
+  bool ok = false;
+  std::string error;      // empty when ok
+  Cycle depth = 0;        // under the supplied latency model
+  GateCounts counts;
+
+  explicit operator bool() const { return ok; }
+};
+
+QftCheckResult check_qft_mapping(const MappedCircuit& mc,
+                                 const CouplingGraph& g,
+                                 const LatencyFn& latency = unit_latency);
+
+}  // namespace qfto

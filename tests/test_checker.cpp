@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "arch/line.hpp"
+#include "circuit/qft_spec.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/mapping_tracker.hpp"
+#include "verify/qft_checker.hpp"
+
+namespace qfto {
+namespace {
+
+std::vector<PhysicalQubit> identity_map(std::int32_t n) {
+  std::vector<PhysicalQubit> m(n);
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+// Hand-built valid mapped QFT on a 2-qubit line:
+// H(0); CP(0,1); H(1)  with identity mappings.
+MappedCircuit tiny_valid() {
+  MappedCircuit mc;
+  mc.circuit = Circuit(2);
+  mc.circuit.append(Gate::h(0));
+  mc.circuit.append(Gate::cphase(0, 1, qft_angle(0, 1)));
+  mc.circuit.append(Gate::h(1));
+  mc.initial = identity_map(2);
+  mc.final_mapping = identity_map(2);
+  return mc;
+}
+
+TEST(MappingTracker, FollowsSwaps) {
+  MappingTracker t(identity_map(3), 3);
+  EXPECT_EQ(t.physical_of(0), 0);
+  t.apply_swap(0, 1);
+  EXPECT_EQ(t.physical_of(0), 1);
+  EXPECT_EQ(t.physical_of(1), 0);
+  EXPECT_EQ(t.logical_at(0), 1);
+  t.apply_swap(1, 2);
+  EXPECT_EQ(t.physical_of(0), 2);
+}
+
+TEST(MappingTracker, HandlesEmptyNodes) {
+  MappingTracker t({2}, 3);  // one logical qubit at physical 2
+  EXPECT_EQ(t.logical_at(0), kInvalidQubit);
+  t.apply_swap(2, 0);
+  EXPECT_EQ(t.physical_of(0), 0);
+  EXPECT_EQ(t.logical_at(2), kInvalidQubit);
+}
+
+TEST(MappingTracker, RejectsBadMappings) {
+  EXPECT_THROW(MappingTracker({0, 0}, 3), std::invalid_argument);
+  EXPECT_THROW(MappingTracker({5}, 3), std::invalid_argument);
+}
+
+TEST(Checker, AcceptsValidTiny) {
+  const CouplingGraph g = make_line(2);
+  const auto r = check_qft_mapping(tiny_valid(), g);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.depth, 3);
+  EXPECT_EQ(r.counts.cphase, 1);
+}
+
+TEST(Checker, RejectsNonAdjacentGate) {
+  const CouplingGraph g = make_line(3);
+  MappedCircuit mc;
+  mc.circuit = Circuit(3);
+  mc.circuit.append(Gate::h(0));
+  mc.circuit.append(Gate::cphase(0, 2, qft_angle(0, 1)));
+  mc.initial = identity_map(2);
+  mc.final_mapping = identity_map(2);
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not coupled"), std::string::npos);
+}
+
+TEST(Checker, RejectsWrongAngle) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::cphase(0, 1, 0.123));
+  c.append(Gate::h(1));
+  mc.circuit = c;
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("angle"), std::string::npos);
+}
+
+TEST(Checker, RejectsMissingPair) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(1));
+  mc.circuit = c;
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("missing CPHASE"), std::string::npos);
+}
+
+TEST(Checker, RejectsWindowViolationBeforeH) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::cphase(0, 1, qft_angle(0, 1)));  // before H(0): invalid
+  c.append(Gate::h(0));
+  c.append(Gate::h(1));
+  mc.circuit = c;
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("before H(0)"), std::string::npos);
+}
+
+TEST(Checker, RejectsWindowViolationAfterH) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(1));
+  c.append(Gate::cphase(0, 1, qft_angle(0, 1)));  // after H(1): invalid
+  mc.circuit = c;
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("after H(1)"), std::string::npos);
+}
+
+TEST(Checker, RejectsDuplicateH) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(0));
+  c.append(Gate::cphase(0, 1, qft_angle(0, 1)));
+  c.append(Gate::h(1));
+  mc.circuit = c;
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate H"), std::string::npos);
+}
+
+TEST(Checker, RejectsWrongFinalMapping) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc = tiny_valid();
+  mc.final_mapping = {1, 0};  // circuit has no swaps
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("final mapping"), std::string::npos);
+}
+
+TEST(Checker, TracksSwapsIntoFinalMapping) {
+  const CouplingGraph g = make_line(2);
+  MappedCircuit mc;
+  mc.circuit = Circuit(2);
+  mc.circuit.append(Gate::h(0));
+  mc.circuit.append(Gate::cphase(0, 1, qft_angle(0, 1)));
+  mc.circuit.append(Gate::swap(0, 1));
+  mc.circuit.append(Gate::h(0));  // logical 1 now at physical 0
+  mc.initial = identity_map(2);
+  mc.final_mapping = {1, 0};
+  const auto r = check_qft_mapping(mc, g);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Equivalence, AcceptsTextbookIdentityMapping) {
+  MappedCircuit mc = tiny_valid();
+  EXPECT_LT(mapped_equivalence_error(mc), 1e-10);
+}
+
+TEST(Equivalence, DetectsWrongCircuit) {
+  MappedCircuit mc = tiny_valid();
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(1));
+  mc.circuit = c;
+  EXPECT_GT(mapped_equivalence_error(mc), 1e-3);
+}
+
+TEST(Equivalence, HandlesAncillaQubits) {
+  // Logical 1-qubit QFT placed on physical node 2 of a 3-node register.
+  MappedCircuit mc;
+  mc.circuit = Circuit(3);
+  mc.circuit.append(Gate::h(2));
+  mc.initial = {2};
+  mc.final_mapping = {2};
+  EXPECT_LT(mapped_equivalence_error(mc), 1e-10);
+}
+
+}  // namespace
+}  // namespace qfto

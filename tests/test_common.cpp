@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/format.hpp"
+#include "common/prng.hpp"
+#include "common/timer.hpp"
+
+namespace qfto {
+namespace {
+
+TEST(Prng, Deterministic) {
+  Xoshiro256ss a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformBounds) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Prng, UniformCoversRange) {
+  Xoshiro256ss rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, UniformDoubleInUnitInterval) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  WallTimer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Deadline, NeverExpiresWithoutBudget) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e100);
+}
+
+TEST(Deadline, ExpiresImmediatelyOnTinyBudget) {
+  Deadline d(1e-9);
+  // Burn a bit of time.
+  double x = 0;
+  for (int i = 0; i < 10000; ++i) x += i;
+  EXPECT_GE(x, 0.0);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Format, PadAndJoin) {
+  EXPECT_EQ(pad("ab", 4), "ab  ");
+  EXPECT_EQ(pad("abcd", 2), "abcd");
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Format, TableRender) {
+  TablePrinter t({"col1", "c2"});
+  t.add_row({"x", "yyyy"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qfto

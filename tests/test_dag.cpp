@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/dag.hpp"
+#include "circuit/qft_spec.hpp"
+
+namespace qfto {
+namespace {
+
+TEST(Dag, IsDiagonal) {
+  EXPECT_TRUE(is_diagonal(GateKind::kCPhase));
+  EXPECT_TRUE(is_diagonal(GateKind::kRz));
+  EXPECT_FALSE(is_diagonal(GateKind::kH));
+  EXPECT_FALSE(is_diagonal(GateKind::kSwap));
+  EXPECT_FALSE(is_diagonal(GateKind::kCnot));
+}
+
+TEST(Dag, StrictChainsPerWire) {
+  Circuit c(2);
+  c.append(Gate::cphase(0, 1, 0.1));  // 0
+  c.append(Gate::cphase(0, 1, 0.2));  // 1
+  c.append(Gate::h(0));               // 2
+  const Dag d = build_strict_dag(c);
+  // 0 -> 1 (shared wires), 1 -> 2 (wire 0).
+  EXPECT_EQ(d.succ[0], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(d.succ[1], (std::vector<std::int32_t>{2}));
+  EXPECT_TRUE(d.succ[2].empty());
+  EXPECT_EQ(d.roots(), (std::vector<std::int32_t>{0}));
+}
+
+TEST(Dag, RelaxedCommutesDiagonals) {
+  Circuit c(3);
+  c.append(Gate::cphase(0, 1, 0.1));  // 0
+  c.append(Gate::cphase(0, 2, 0.2));  // 1 — shares wire 0, but commutes
+  c.append(Gate::h(0));               // 2 — barrier
+  const Dag strict = build_strict_dag(c);
+  const Dag relaxed = build_relaxed_dag(c);
+  // Strict: 0 -> 1 exists. Relaxed: it must not.
+  EXPECT_FALSE(strict.succ[0].empty());
+  EXPECT_TRUE(relaxed.succ[0] == (std::vector<std::int32_t>{2}));
+  EXPECT_TRUE(relaxed.succ[1] == (std::vector<std::int32_t>{2}));
+  // Both diagonal gates are roots under relaxed ordering.
+  const auto roots = relaxed.roots();
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(Dag, RelaxedBarrierOrdersAroundH) {
+  // This is the paper's Type II example: G(i,j) ... H(j) ... G(j,k).
+  Circuit c(3);
+  c.append(Gate::cphase(0, 1, 0.1));  // 0: G(q0,q1)
+  c.append(Gate::h(1));               // 1: H(q1)
+  c.append(Gate::cphase(1, 2, 0.2));  // 2: G(q1,q2)
+  const Dag d = build_relaxed_dag(c);
+  EXPECT_EQ(d.succ[0], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(d.succ[1], (std::vector<std::int32_t>{2}));
+}
+
+TEST(Dag, TopologicalOrderValid) {
+  const Circuit c = qft_logical(6);
+  for (const Dag& d : {build_strict_dag(c), build_relaxed_dag(c)}) {
+    const auto order = d.topological_order();
+    EXPECT_EQ(order.size(), c.size());
+    EXPECT_TRUE(respects_dag(d, order));
+  }
+}
+
+TEST(Dag, RespectsDagDetectsViolation) {
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::cphase(0, 1, 0.1));
+  const Dag d = build_strict_dag(c);
+  EXPECT_TRUE(respects_dag(d, {0, 1}));
+  EXPECT_FALSE(respects_dag(d, {1, 0}));
+  EXPECT_FALSE(respects_dag(d, {0}));
+  EXPECT_FALSE(respects_dag(d, {0, 0}));
+}
+
+// Counts ordered gate pairs (transitive reachability) — the real measure of
+// how constraining a DAG is, independent of redundant edges.
+std::size_t ordered_pairs(const Dag& d) {
+  const std::size_t n = d.size();
+  std::vector<std::vector<std::uint8_t>> reach(n,
+                                               std::vector<std::uint8_t>(n, 0));
+  const auto order = d.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::int32_t g = *it;
+    for (auto s : d.succ[g]) {
+      reach[g][s] = 1;
+      for (std::size_t k = 0; k < n; ++k) reach[g][k] |= reach[s][k];
+    }
+  }
+  std::size_t count = 0;
+  for (const auto& row : reach) {
+    for (auto v : row) count += v;
+  }
+  return count;
+}
+
+TEST(Dag, QftRelaxedIsStrictlyLessConstraining) {
+  const Circuit c = qft_logical(8);
+  EXPECT_LT(ordered_pairs(build_relaxed_dag(c)),
+            ordered_pairs(build_strict_dag(c)));
+}
+
+TEST(Dag, QftRelaxedRootsAreFirstQubitGates) {
+  // In QFT all of H(0) is the sole root under relaxed ordering: every CPHASE
+  // {0,j} needs H(0) first, every other H needs earlier pairs.
+  const Circuit c = qft_logical(5);
+  const Dag d = build_relaxed_dag(c);
+  const auto roots = d.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(c[roots[0]].kind, GateKind::kH);
+  EXPECT_EQ(c[roots[0]].q0, 0);
+}
+
+}  // namespace
+}  // namespace qfto

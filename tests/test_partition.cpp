@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "circuit/dag.hpp"
+#include "circuit/qft_spec.hpp"
+#include "circuit/stats.hpp"
+#include "mapper/partition.hpp"
+#include "sim/unitary.hpp"
+
+namespace qfto {
+namespace {
+
+// Mechanical proof of the §3.2 correctness claim: the partitioned order is a
+// valid linearization of the *relaxed* dependence DAG of the textbook QFT and
+// hence (independently confirmed below) the same unitary.
+
+void expect_same_unitary(const Circuit& a, const Circuit& b) {
+  EXPECT_LT(unitary_distance(circuit_unitary(a), circuit_unitary(b)), 1e-10);
+}
+
+TEST(Partition, TwoPartitionMatchesTextbookUnitary) {
+  expect_same_unitary(qft_partitioned(4, {2, 2}), qft_logical(4));
+  expect_same_unitary(qft_partitioned(5, {2, 3}), qft_logical(5));
+  expect_same_unitary(qft_partitioned(6, {1, 5}), qft_logical(6));
+}
+
+TEST(Partition, KPartitionMatchesTextbookUnitary) {
+  expect_same_unitary(qft_partitioned(6, {2, 2, 2}), qft_logical(6));
+  expect_same_unitary(qft_partitioned(7, {3, 1, 2, 1}), qft_logical(7));
+  expect_same_unitary(qft_partitioned(8, {1, 1, 1, 1, 1, 1, 1, 1}),
+                      qft_logical(8));
+}
+
+TEST(Partition, RecursiveMatchesTextbookUnitary) {
+  expect_same_unitary(qft_partitioned_recursive(8, 2, 2), qft_logical(8));
+  expect_same_unitary(qft_partitioned_recursive(7, 3, 1), qft_logical(7));
+}
+
+TEST(Partition, GateCountsPreserved) {
+  for (int n : {5, 9, 16, 33}) {
+    const Circuit c = qft_partitioned(n, {n / 2, n - n / 2});
+    const GateCounts gc = count_gates(c);
+    EXPECT_EQ(gc.h, n);
+    EXPECT_EQ(gc.cphase, qft_pair_count(n));
+  }
+}
+
+// A gate-multiset-preserving reordering is valid iff it linearizes the
+// relaxed DAG; check by replaying the window rule directly.
+bool relaxed_valid(const Circuit& c, std::int32_t n) {
+  std::vector<std::uint8_t> h(n, 0);
+  for (const auto& g : c) {
+    if (g.kind == GateKind::kH) {
+      if (h[g.q0]) return false;
+      h[g.q0] = 1;
+    } else if (g.kind == GateKind::kCPhase) {
+      const auto lo = std::min(g.q0, g.q1), hi = std::max(g.q0, g.q1);
+      if (!h[lo] || h[hi]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Partition, OrderIsRelaxedValidAcrossManyShapes) {
+  for (int n = 2; n <= 24; ++n) {
+    // Halves, thirds, singletons, and a lopsided split.
+    EXPECT_TRUE(relaxed_valid(qft_partitioned(n, {n / 2, n - n / 2}), n));
+    if (n >= 3) {
+      EXPECT_TRUE(relaxed_valid(
+          qft_partitioned(n, {n / 3, n / 3, n - 2 * (n / 3)}), n));
+      EXPECT_TRUE(relaxed_valid(qft_partitioned(n, {1, n - 1}), n));
+      EXPECT_TRUE(relaxed_valid(qft_partitioned(n, {n - 1, 1}), n));
+    }
+    EXPECT_TRUE(relaxed_valid(qft_partitioned_recursive(n, 2, 1), n));
+  }
+}
+
+TEST(Partition, StrictOrderWouldReject) {
+  // Sanity: the partitioned order genuinely uses commutativity — it is NOT a
+  // linearization of the strict per-wire DAG for a 3-way split of 6 qubits.
+  const Circuit textbook = qft_logical(6);
+  const Circuit part = qft_partitioned(6, {2, 2, 2});
+  // Build index mapping from gate identity; strict order demands IE(U0,U1)
+  // gates appear in textbook relative order with IA(U1)'s H — the partition
+  // moves H(2) after CPHASE(0,4), which textbook strictness forbids via
+  // wire-2 ... wire-0 chains. We just verify the gate sequences differ while
+  // the unitaries agree (checked above).
+  EXPECT_NE(textbook.to_string(), part.to_string());
+}
+
+TEST(Partition, InputValidation) {
+  EXPECT_THROW(qft_partitioned(4, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(qft_partitioned(4, {0, 4}), std::invalid_argument);
+  EXPECT_THROW(qft_partitioned(0, {}), std::invalid_argument);
+  EXPECT_THROW(qft_partitioned_recursive(4, 1, 1), std::invalid_argument);
+}
+
+TEST(Partition, IeBlockShape) {
+  Circuit c(6);
+  append_qft_ie(c, 0, 2, 2, 5);
+  EXPECT_EQ(c.size(), 6u);  // 2 * 3 pairs
+  for (const auto& g : c) EXPECT_EQ(g.kind, GateKind::kCPhase);
+}
+
+}  // namespace
+}  // namespace qfto

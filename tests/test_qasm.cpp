@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "circuit/qft_spec.hpp"
+#include "circuit/transforms.hpp"
+#include "mapper/heavy_hex_mapper.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "qasm/qasm.hpp"
+#include "sim/unitary.hpp"
+
+namespace qfto {
+namespace {
+
+TEST(Qasm, HeaderAndRegister) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  const std::string q = to_qasm(c);
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(q.find("h q[0];"), std::string::npos);
+}
+
+TEST(Qasm, AllGateKindsEmit) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::x(1));
+  c.append(Gate::rz(2, 0.25));
+  c.append(Gate::cphase(0, 1, 0.5));
+  c.append(Gate::swap(1, 2));
+  c.append(Gate::cnot(0, 2));
+  const std::string q = to_qasm(c);
+  for (const char* needle :
+       {"h q[0];", "x q[1];", "rz(0.25) q[2];", "cu1(0.5) q[0],q[1];",
+        "swap q[1],q[2];", "cx q[0],q[2];"}) {
+    EXPECT_NE(q.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Qasm, RoundTripPreservesGateList) {
+  const Circuit orig = qft_logical(6);
+  const Circuit back = from_qasm(to_qasm(orig));
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_TRUE(back[i] == orig[i]) << "gate " << i;
+  }
+}
+
+TEST(Qasm, RoundTripMappedKernelExactUnitary) {
+  const MappedCircuit mc = map_qft_lnn(5);
+  const Circuit back = from_qasm(to_qasm(mc.circuit));
+  EXPECT_LT(unitary_distance(circuit_unitary(mc.circuit),
+                             circuit_unitary(back)),
+            1e-12);
+}
+
+TEST(Qasm, RoundTripCnotBasis) {
+  const Circuit lowered = decompose_to_cnot(map_qft_lnn(4).circuit);
+  const Circuit back = from_qasm(to_qasm(lowered));
+  ASSERT_EQ(back.size(), lowered.size());
+  EXPECT_LT(
+      unitary_distance(circuit_unitary(lowered), circuit_unitary(back)),
+      1e-12);
+}
+
+TEST(Qasm, MappedHeaderCarriesMappings) {
+  const MappedCircuit mc = map_qft_heavy_hex(10);
+  const std::string q = to_qasm(mc);
+  EXPECT_NE(q.find("initial mapping"), std::string::npos);
+  EXPECT_NE(q.find("final mapping"), std::string::npos);
+  // Comments must not break the parser.
+  EXPECT_NO_THROW(from_qasm(q));
+}
+
+TEST(Qasm, ParsesPiExpressions) {
+  const std::string text =
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+      "cu1(pi/4) q[0],q[1];\nrz(-pi) q[0];\nrz(pi*0.5) q[1];\n";
+  const Circuit c = from_qasm(text);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0].angle, M_PI / 4, 1e-12);
+  EXPECT_NEAR(c[1].angle, -M_PI, 1e-12);
+  EXPECT_NEAR(c[2].angle, M_PI / 2, 1e-12);
+}
+
+TEST(Qasm, AcceptsCpAliasAndBarrier) {
+  const std::string text =
+      "OPENQASM 2.0;\nqreg q[2];\ncp(0.5) q[0],q[1];\nbarrier q[0],q[1];\n"
+      "h q[1];\n";
+  const Circuit c = from_qasm(text);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].kind, GateKind::kCPhase);
+  EXPECT_EQ(c[1].kind, GateKind::kH);
+}
+
+TEST(Qasm, RejectsMalformedInput) {
+  EXPECT_THROW(from_qasm("garbage"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; h r[0];"),
+               std::invalid_argument);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; h q[5];"),
+               std::invalid_argument);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; bogus q[0];"),
+               std::invalid_argument);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; h q[0]"),
+               std::invalid_argument);  // missing semicolon
+}
+
+TEST(Qasm, ErrorsCarryLineNumbers) {
+  try {
+    from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[0];\nbogus q[1];\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace qfto

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/qft_spec.hpp"
+#include "common/prng.hpp"
+#include "sim/dft.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+
+namespace qfto {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, BasisState) {
+  StateVector sv = StateVector::basis(3, 5);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[5]), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardTwiceIsIdentity) {
+  StateVector sv = StateVector::basis(2, 2);
+  sv.apply(Gate::h(1));
+  sv.apply(Gate::h(1));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2]), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector sv = StateVector::basis(3, 0b010);
+  sv.apply(Gate::x(0));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0b011]), 1.0, kTol);
+}
+
+TEST(StateVector, CnotControlled) {
+  StateVector sv = StateVector::basis(2, 0b01);  // q0=1 control
+  sv.apply(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0b11]), 1.0, kTol);
+  StateVector sv2 = StateVector::basis(2, 0b00);
+  sv2.apply(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv2.amplitudes()[0b00]), 1.0, kTol);
+}
+
+TEST(StateVector, SwapExchangesBits) {
+  StateVector sv = StateVector::basis(3, 0b001);
+  sv.apply(Gate::swap(0, 2));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0b100]), 1.0, kTol);
+}
+
+TEST(StateVector, SwapEqualsThreeCnots) {
+  Xoshiro256ss rng(3);
+  StateVector a(3), b(3);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Amplitude amp{rng.uniform_double(), rng.uniform_double()};
+    a.amplitudes()[i] = amp;
+    b.amplitudes()[i] = amp;
+  }
+  a.apply(Gate::swap(0, 2));
+  b.apply(Gate::cnot(0, 2));
+  b.apply(Gate::cnot(2, 0));
+  b.apply(Gate::cnot(0, 2));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, CphasePhasesOnlyBothOnes) {
+  StateVector sv = StateVector::basis(2, 0b11);
+  sv.apply(Gate::cphase(0, 1, M_PI / 2));
+  const Amplitude expect = std::polar(1.0, M_PI / 2);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3] - expect), 0.0, kTol);
+  StateVector sv2 = StateVector::basis(2, 0b01);
+  sv2.apply(Gate::cphase(0, 1, M_PI / 2));
+  EXPECT_NEAR(std::abs(sv2.amplitudes()[1] - Amplitude{1.0, 0.0}), 0.0, kTol);
+}
+
+TEST(StateVector, CphaseSymmetric) {
+  StateVector a = StateVector::basis(2, 3), b = StateVector::basis(2, 3);
+  a.apply(Gate::cphase(0, 1, 0.7));
+  b.apply(Gate::cphase(1, 0, 0.7));
+  EXPECT_NEAR(std::abs(a.amplitudes()[3] - b.amplitudes()[3]), 0.0, kTol);
+}
+
+TEST(StateVector, RzAppliesPhaseToOneBranch) {
+  StateVector sv(1);
+  sv.apply(Gate::h(0));
+  sv.apply(Gate::rz(0, M_PI));
+  sv.apply(Gate::h(0));
+  // H Rz(pi) H = X up to global phase.
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 1.0, kTol);
+}
+
+TEST(StateVector, NormPreserved) {
+  Xoshiro256ss rng(5);
+  StateVector sv(4);
+  auto& amps = sv.amplitudes();
+  double n2 = 0;
+  for (auto& a : amps) {
+    a = Amplitude{rng.uniform_double() - 0.5, rng.uniform_double() - 0.5};
+    n2 += std::norm(a);
+  }
+  for (auto& a : amps) a /= std::sqrt(n2);
+  const Circuit c = qft_logical(4);
+  sv.apply(c);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVector, PermuteQubits) {
+  StateVector sv = StateVector::basis(3, 0b001);  // qubit 0 set
+  sv.permute_qubits({2, 0, 1});                   // q0 -> position 2
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0b100]), 1.0, kTol);
+}
+
+namespace {
+std::uint64_t bit_reverse(std::uint64_t x, int n) {
+  std::uint64_t r = 0;
+  for (int b = 0; b < n; ++b) {
+    if (x & (1ull << b)) r |= 1ull << (n - 1 - b);
+  }
+  return r;
+}
+}  // namespace
+
+// The key simulator correctness test. With qubit i = bit i of the index, the
+// textbook-ordered circuit (H on q0 first) realizes U|x> = DFT|rev(x)>: the
+// usual statement "the QFT circuit ends bit-reversed" expressed on the input
+// side for our bit convention.
+TEST(QftLogicalVsDft, BasisStates) {
+  for (int n : {1, 2, 3, 5}) {
+    const Circuit c = qft_logical(n);
+    const std::uint64_t dim = 1ull << n;
+    for (std::uint64_t x = 0; x < dim; x += 3) {
+      StateVector sv = StateVector::basis(n, x);
+      sv.apply(c);
+      std::vector<std::complex<double>> ref(dim, {0.0, 0.0});
+      ref[bit_reverse(x, n)] = {1.0, 0.0};
+      qft_reference(ref);
+      for (std::uint64_t y = 0; y < dim; ++y) {
+        EXPECT_NEAR(std::abs(sv.amplitudes()[y] - ref[y]), 0.0, 1e-9)
+            << "n=" << n << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(QftLogicalVsDft, RandomState) {
+  const int n = 6;
+  const std::uint64_t dim = 1ull << n;
+  Xoshiro256ss rng(11);
+  std::vector<std::complex<double>> amps(dim);
+  double n2 = 0;
+  for (auto& a : amps) {
+    a = {rng.uniform_double() - 0.5, rng.uniform_double() - 0.5};
+    n2 += std::norm(a);
+  }
+  for (auto& a : amps) a /= std::sqrt(n2);
+
+  StateVector sv(n);
+  sv.amplitudes() = amps;
+  sv.apply(qft_logical(n));
+
+  // Reference: bit-reverse the input amplitudes, then FFT.
+  std::vector<std::complex<double>> ref(dim);
+  for (std::uint64_t x = 0; x < dim; ++x) ref[bit_reverse(x, n)] = amps[x];
+  qft_reference(ref);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitudes()[i] - ref[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Unitary, ExtractAndCompare) {
+  const Circuit c = qft_logical(3);
+  const Unitary u = circuit_unitary(c);
+  EXPECT_EQ(u.size(), 8u);
+  EXPECT_NEAR(unitary_distance(u, u), 0.0, kTol);
+  // QFT matrix entries all have magnitude 1/sqrt(8).
+  for (const auto& col : u) {
+    for (const auto& e : col) {
+      EXPECT_NEAR(std::abs(e), 1.0 / std::sqrt(8.0), 1e-9);
+    }
+  }
+}
+
+TEST(Dft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> v(3);
+  EXPECT_THROW(qft_reference(v), std::invalid_argument);
+}
+
+TEST(Dft, UnitaryOnDelta) {
+  std::vector<std::complex<double>> v(8, {0.0, 0.0});
+  v[0] = {1.0, 0.0};
+  qft_reference(v);
+  for (const auto& e : v) {
+    EXPECT_NEAR(std::abs(e - std::complex<double>(1.0 / std::sqrt(8.0), 0.0)),
+                0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qfto

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "arch/sycamore.hpp"
+#include "circuit/qft_spec.hpp"
+#include "circuit/stats.hpp"
+#include "mapper/sycamore_mapper.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/qft_checker.hpp"
+
+namespace qfto {
+namespace {
+
+class SycamoreSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SycamoreSweep, CheckerInvariants) {
+  const int m = GetParam();
+  const int n = m * m;
+  const MappedCircuit mc = map_qft_sycamore(m);
+  const CouplingGraph g = make_sycamore(m);
+  const auto r = check_qft_mapping(mc, g);
+  ASSERT_TRUE(r.ok) << "m=" << m << ": " << r.error;
+  EXPECT_EQ(r.counts.cphase, qft_pair_count(n));
+  EXPECT_EQ(r.counts.h, n);
+}
+
+TEST_P(SycamoreSweep, LinearDepthBound) {
+  const int m = GetParam();
+  const int n = m * m;
+  const MappedCircuit mc = map_qft_sycamore(m);
+  const CouplingGraph g = make_sycamore(m);
+  const auto r = check_qft_mapping(mc, g);
+  ASSERT_TRUE(r.ok) << r.error;
+  // §5 engineering: 7N + O(sqrt N). Our closed-loop constant is allowed up
+  // to 12N + O(sqrt N) — still linear; measured constants in EXPERIMENTS.md.
+  EXPECT_LE(r.depth, 12 * n + 40 * m + 64) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SycamoreSweep,
+                         ::testing::Values(2, 4, 6, 8, 10, 12));
+
+class SycamoreSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(SycamoreSim, UnitaryEquivalence) {
+  const int m = GetParam();
+  const MappedCircuit mc = map_qft_sycamore(m);
+  EXPECT_LT(mapped_equivalence_error(mc), 1e-9) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, SycamoreSim, ::testing::Values(2, 4));
+
+TEST(Sycamore, TwoByTwoIsPureLnnOnFourQubits) {
+  // m=2 has a single unit: the mapper degenerates to the LNN pattern.
+  const MappedCircuit mc = map_qft_sycamore(2);
+  const auto r = check_qft_mapping(mc, make_sycamore(2));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_LE(r.depth, 4 * 4 + 8);
+  EXPECT_EQ(count_gates(mc.circuit).swap, qft_pair_count(4));
+}
+
+TEST(Sycamore, DepthScalesLinearlyAcrossSizes) {
+  // depth(m=10) / depth(m=6) should be close to N ratio (100/36), far from
+  // the superlinear growth a generic router exhibits.
+  const auto d6 = check_qft_mapping(map_qft_sycamore(6), make_sycamore(6));
+  const auto d10 = check_qft_mapping(map_qft_sycamore(10), make_sycamore(10));
+  ASSERT_TRUE(d6.ok && d10.ok);
+  const double ratio = static_cast<double>(d10.depth) / d6.depth;
+  EXPECT_LT(ratio, 1.6 * (100.0 / 36.0));
+}
+
+TEST(Sycamore, StrictIeCorrectAndSlower) {
+  const CouplingGraph g = make_sycamore(6);
+  const auto strict = check_qft_mapping(map_qft_sycamore(6, true), g);
+  ASSERT_TRUE(strict.ok) << strict.error;
+  const auto relaxed = check_qft_mapping(map_qft_sycamore(6), g);
+  ASSERT_TRUE(relaxed.ok) << relaxed.error;
+  EXPECT_GT(strict.depth, relaxed.depth);
+}
+
+TEST(Sycamore, StrictIeUnitaryEquivalent) {
+  EXPECT_LT(mapped_equivalence_error(map_qft_sycamore(4, true)), 1e-9);
+}
+
+TEST(Sycamore, RejectsInvalidM) {
+  EXPECT_THROW(map_qft_sycamore(3), std::invalid_argument);
+  EXPECT_THROW(map_qft_sycamore(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qfto

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "synth/inter_unit_spec.hpp"
+#include "synth/sketch.hpp"
+
+namespace qfto {
+namespace {
+
+TEST(Sketch, SpaceSize) {
+  Sketch s({{"a", {0, 1}}, {"b", {1, 2, 3}}});
+  EXPECT_EQ(s.space_size(), 6);
+}
+
+TEST(Sketch, FindsFirstSolution) {
+  Sketch s({{"a", {0, 1, 2, 3}}, {"b", {0, 1, 2, 3}}});
+  const auto sol = s.solve([](const HoleAssignment& a) {
+    return a[0] + a[1] == 5;
+  });
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ((*sol)[0] + (*sol)[1], 5);
+}
+
+TEST(Sketch, SolveAllFindsEverySolution) {
+  Sketch s({{"a", {0, 1, 2, 3}}, {"b", {0, 1, 2, 3}}});
+  const auto sols = s.solve_all([](const HoleAssignment& a) {
+    return (a[0] + a[1]) % 2 == 0;
+  });
+  EXPECT_EQ(sols.size(), 8u);
+}
+
+TEST(Sketch, ReturnsEmptyWhenUnsatisfiable) {
+  Sketch s({{"a", {0, 1}}});
+  EXPECT_FALSE(s.solve([](const HoleAssignment&) { return false; }).has_value());
+}
+
+TEST(Sketch, RejectsEmptyDomain) {
+  std::vector<Hole> holes{{"a", {}}};
+  EXPECT_THROW(Sketch{holes}, std::invalid_argument);
+}
+
+TEST(Sketch, RespectsLimit) {
+  Sketch s({{"a", {0, 1, 2, 3, 4, 5, 6, 7}}});
+  const auto sols =
+      s.solve_all([](const HoleAssignment&) { return true; }, 3);
+  EXPECT_EQ(sols.size(), 3u);
+}
+
+// ------- Appendix 5: Sycamore inter-unit pattern (offset-by-one links) -----
+
+TEST(TravelPath, SyncedPhasesCoverSycamoreSpec) {
+  // The paper's discovery: syncing both units' travel paths covers every
+  // pair except equal positions, which the spec excludes.
+  for (int L : {4, 6, 8, 12, 20}) {
+    TravelPathParams p;
+    p.phase_a = p.phase_b = 0;
+    p.rounds_coeff = 2;
+    p.rounds_offset = 1;
+    EXPECT_DOUBLE_EQ(
+        travel_path_coverage(L, CrossLinkFamily::kOffsetByOne, p), 1.0)
+        << "L=" << L;
+  }
+}
+
+TEST(TravelPath, SketchRediscoversSyncedSolutionForSycamore) {
+  const Sketch sketch = make_travel_path_sketch();
+  const auto sols = sketch.solve_all([](const HoleAssignment& a) {
+    const TravelPathParams p = decode_travel_path(a);
+    for (int L : {6, 8, 10}) {
+      if (travel_path_coverage(L, CrossLinkFamily::kOffsetByOne, p) < 1.0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  ASSERT_FALSE(sols.empty());
+  // Every surviving solution has synced phases — the paper's key insight for
+  // Sycamore (Appendix 5: equal travel paths for the two units).
+  for (const auto& a : sols) {
+    const TravelPathParams p = decode_travel_path(a);
+    EXPECT_EQ(p.phase_a, p.phase_b);
+  }
+}
+
+// ------- Appendix 7: 2D grid / lattice surgery (equal-position links) ------
+
+TEST(TravelPath, OffsetPhasesRequiredForEqualPositionLinks) {
+  // Appendix 7: with vertical (equal-position) links, synced movement pins
+  // every qubit to the same partner; the rows must run out of phase.
+  TravelPathParams synced;
+  synced.phase_a = synced.phase_b = 0;
+  synced.rounds_coeff = 3;
+  synced.rounds_offset = 2;
+  TravelPathParams offset = synced;
+  offset.phase_b = 1;
+  for (int L : {4, 6, 8, 10}) {
+    EXPECT_LT(travel_path_coverage(L, CrossLinkFamily::kEqualPosition, synced),
+              0.35)
+        << "L=" << L;
+    EXPECT_DOUBLE_EQ(
+        travel_path_coverage(L, CrossLinkFamily::kEqualPosition, offset), 1.0)
+        << "L=" << L;
+  }
+}
+
+TEST(TravelPath, SketchRediscoversOffsetSolutionForGrid) {
+  const Sketch sketch = make_travel_path_sketch();
+  const auto sols = sketch.solve_all([](const HoleAssignment& a) {
+    const TravelPathParams p = decode_travel_path(a);
+    for (int L : {5, 6, 8, 9}) {
+      if (travel_path_coverage(L, CrossLinkFamily::kEqualPosition, p) < 1.0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  ASSERT_FALSE(sols.empty());
+  for (const auto& a : sols) {
+    const TravelPathParams p = decode_travel_path(a);
+    EXPECT_NE(p.phase_a, p.phase_b);
+  }
+}
+
+TEST(TravelPath, InsufficientRoundsFailSpec) {
+  TravelPathParams p;
+  p.phase_a = 0;
+  p.phase_b = 1;
+  p.rounds_coeff = 1;
+  p.rounds_offset = -2;  // fewer than L rounds cannot cover L^2 pairs
+  EXPECT_LT(travel_path_coverage(12, CrossLinkFamily::kEqualPosition, p), 1.0);
+}
+
+}  // namespace
+}  // namespace qfto

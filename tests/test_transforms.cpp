@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/qft_spec.hpp"
+#include "circuit/stats.hpp"
+#include "circuit/transforms.hpp"
+#include "common/prng.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+
+namespace qfto {
+namespace {
+
+TEST(DecomposeToCnot, SwapExpandsToThreeCnots) {
+  Circuit c(2);
+  c.append(Gate::swap(0, 1));
+  const Circuit d = decompose_to_cnot(c);
+  const GateCounts gc = count_gates(d);
+  EXPECT_EQ(gc.cnot, 3);
+  EXPECT_EQ(gc.swap, 0);
+  EXPECT_LT(unitary_distance(circuit_unitary(c), circuit_unitary(d)), 1e-12);
+}
+
+TEST(DecomposeToCnot, CphaseExactForManyAngles) {
+  for (double angle : {0.1, 0.5, M_PI / 2, M_PI / 1024, -0.7, M_PI}) {
+    Circuit c(2);
+    c.append(Gate::cphase(0, 1, angle));
+    const Circuit d = decompose_to_cnot(c);
+    EXPECT_LT(unitary_distance(circuit_unitary(c), circuit_unitary(d)), 1e-12)
+        << "angle=" << angle;
+    EXPECT_EQ(count_gates(d).cnot, 2);
+    EXPECT_EQ(count_gates(d).rz, 3);
+  }
+}
+
+TEST(DecomposeToCnot, WholeMappedQftStaysExact) {
+  const MappedCircuit mc = map_qft_lnn(5);
+  const Circuit d = decompose_to_cnot(mc.circuit);
+  EXPECT_LT(unitary_distance(circuit_unitary(mc.circuit), circuit_unitary(d)),
+            1e-10);
+  const GateCounts before = count_gates(mc.circuit);
+  const GateCounts after = count_gates(d);
+  EXPECT_EQ(after.cnot, 3 * before.swap + 2 * before.cphase);
+  EXPECT_EQ(after.swap, 0);
+  EXPECT_EQ(after.cphase, 0);
+}
+
+TEST(PruneSmallRotations, ExactWhenCutoffCoversAll) {
+  const Circuit full = qft_logical(6);
+  const Circuit same = prune_small_rotations(full, 5);
+  EXPECT_EQ(same.size(), full.size());
+}
+
+TEST(PruneSmallRotations, DropCountMatchesFormula) {
+  for (int n : {4, 8, 12}) {
+    for (int k : {1, 2, 3}) {
+      const Circuit pruned = prune_small_rotations(qft_logical(n), k);
+      EXPECT_EQ(count_gates(pruned).cphase, aqft_pair_count(n, k))
+          << "n=" << n << " k=" << k;
+      EXPECT_EQ(count_gates(pruned).h, n);
+    }
+  }
+}
+
+TEST(PruneSmallRotations, FidelityDegradesGracefully) {
+  // Coppersmith: AQFT with cutoff k approximates the QFT with error
+  // shrinking as k grows. Measure state overlap on a random input.
+  const int n = 8;
+  Xoshiro256ss rng(5);
+  std::vector<Amplitude> psi(1u << n);
+  double n2 = 0;
+  for (auto& a : psi) {
+    a = {rng.uniform_double() - 0.5, rng.uniform_double() - 0.5};
+    n2 += std::norm(a);
+  }
+  for (auto& a : psi) a /= std::sqrt(n2);
+
+  StateVector exact(n);
+  exact.amplitudes() = psi;
+  exact.apply(qft_logical(n));
+
+  double prev = 0.0;
+  for (int k : {2, 3, 4, 5, 7}) {
+    StateVector approx(n);
+    approx.amplitudes() = psi;
+    approx.apply(prune_small_rotations(qft_logical(n), k));
+    const double overlap = StateVector::overlap(exact, approx);
+    EXPECT_GE(overlap, prev - 1e-9) << "k=" << k;  // monotone-ish improvement
+    prev = overlap;
+    if (k >= 4) EXPECT_GT(overlap, 0.98) << "k=" << k;
+  }
+  EXPECT_GT(prev, 1.0 - 1e-9);  // k = n-1 is exact
+}
+
+TEST(PruneSmallRotations, MappedKernelStaysHardwareValidAfterPruning) {
+  // Pruning only deletes CPHASEs, so coupling and windows remain intact;
+  // the pruned mapped kernel equals the pruned logical kernel.
+  const int n = 6, k = 3;
+  const MappedCircuit mc = map_qft_lnn(n);
+  MappedCircuit pruned = mc;
+  pruned.circuit = prune_small_rotations(mc.circuit, k);
+
+  StateVector a(n), b(n);
+  Xoshiro256ss rng(9);
+  for (std::uint64_t i = 0; i < a.dim(); ++i) {
+    const Amplitude amp{rng.uniform_double() - 0.5, rng.uniform_double() - 0.5};
+    a.amplitudes()[i] = amp;
+    b.amplitudes()[i] = amp;
+  }
+  // Normalize both identically.
+  const double nn = a.norm();
+  for (auto& x : a.amplitudes()) x /= nn;
+  for (auto& x : b.amplitudes()) x /= nn;
+
+  a.apply(pruned.circuit);
+  // Reference: logical pruned QFT then the mapped kernel's final relabeling.
+  b.apply(prune_small_rotations(qft_logical(n), k));
+  std::vector<std::int32_t> perm(n);
+  for (int l = 0; l < n; ++l) perm[l] = pruned.final_mapping[l];
+  b.permute_qubits(perm);
+  for (std::uint64_t i = 0; i < a.dim(); ++i) {
+    EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(AqftPairCount, Formula) {
+  EXPECT_EQ(aqft_pair_count(5, 4), qft_pair_count(5));
+  EXPECT_EQ(aqft_pair_count(5, 100), qft_pair_count(5));
+  EXPECT_EQ(aqft_pair_count(4, 1), 3);
+  EXPECT_EQ(aqft_pair_count(4, 2), 5);
+}
+
+}  // namespace
+}  // namespace qfto

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mapper/unit_driver.hpp"
+
+namespace qfto {
+namespace {
+
+// Records the abstract operation sequence so we can check the driver
+// schedules a valid unit-level QFT.
+struct Recorder {
+  std::int32_t units;
+  std::vector<std::int32_t> occ;                      // slot -> unit
+  std::vector<std::uint8_t> ia_done;
+  std::vector<std::uint8_t> pair_done;                // units*units
+  std::vector<std::string> log;
+
+  explicit Recorder(std::int32_t u) : units(u), occ(u), ia_done(u, 0),
+                                      pair_done(u * u, 0) {
+    std::iota(occ.begin(), occ.end(), 0);
+  }
+
+  UnitOps ops() {
+    UnitOps o;
+    o.ia = [this](std::int32_t s) {
+      const std::int32_t u = occ[s];
+      // IA(u) legal only when every smaller pair arrived (Type II window).
+      for (std::int32_t k = 0; k < u; ++k) {
+        EXPECT_TRUE(pair_done[std::min(k, u) * units + std::max(k, u)])
+            << "IA(" << u << ") before IE(" << k << "," << u << ")";
+      }
+      EXPECT_FALSE(ia_done[u]);
+      ia_done[u] = 1;
+      log.push_back("IA" + std::to_string(u));
+    };
+    o.ie = [this](std::int32_t s) {
+      const std::int32_t a = occ[s], b = occ[s + 1];
+      const std::int32_t lo = std::min(a, b), hi = std::max(a, b);
+      EXPECT_TRUE(ia_done[lo]) << "IE before IA(min)";
+      EXPECT_FALSE(ia_done[hi]) << "IE after IA(max)";
+      EXPECT_FALSE(pair_done[lo * units + hi]) << "duplicate IE";
+      pair_done[lo * units + hi] = 1;
+      log.push_back("IE" + std::to_string(lo) + "," + std::to_string(hi));
+    };
+    o.unit_swap = [this](std::int32_t s) {
+      std::swap(occ[s], occ[s + 1]);
+      log.push_back("SW" + std::to_string(s));
+    };
+    return o;
+  }
+
+  bool complete() const {
+    for (std::int32_t u = 0; u < units; ++u) {
+      if (!ia_done[u]) return false;
+      for (std::int32_t v = u + 1; v < units; ++v) {
+        if (!pair_done[u * units + v]) return false;
+      }
+    }
+    return true;
+  }
+};
+
+class UnitDriverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnitDriverSweep, SchedulesCompleteValidUnitQft) {
+  Recorder rec(GetParam());
+  const UnitOps ops = rec.ops();
+  run_unit_qft(GetParam(), ops);
+  EXPECT_TRUE(rec.complete()) << "units=" << GetParam();
+}
+
+TEST_P(UnitDriverSweep, FinalUnitOrderIsReversed) {
+  const int u = GetParam();
+  Recorder rec(u);
+  const UnitOps ops = rec.ops();
+  run_unit_qft(u, ops);
+  for (int s = 0; s < u; ++s) {
+    EXPECT_EQ(rec.occ[s], u - 1 - s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UnitDriverSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 21));
+
+TEST(UnitDriver, SingleUnitJustIa) {
+  Recorder rec(1);
+  const UnitOps ops = rec.ops();
+  run_unit_qft(1, ops);
+  EXPECT_EQ(rec.log, (std::vector<std::string>{"IA0"}));
+}
+
+TEST(UnitDriver, SwapCountIsAllPairs) {
+  const int u = 7;
+  Recorder rec(u);
+  const UnitOps ops = rec.ops();
+  run_unit_qft(u, ops);
+  int swaps = 0;
+  for (const auto& entry : rec.log) swaps += entry[0] == 'S';
+  EXPECT_EQ(swaps, u * (u - 1) / 2);  // full reversal at unit level
+}
+
+TEST(UnitDriver, MissingCallbacksRejected) {
+  UnitOps ops;
+  EXPECT_THROW(run_unit_qft(2, ops), std::invalid_argument);
+  EXPECT_THROW(run_unit_qft(0, ops), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qfto
