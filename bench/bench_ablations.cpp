@@ -1,21 +1,15 @@
-// Ablations for the design choices DESIGN.md calls out:
+// Ablations for the design choices DESIGN.md calls out, all driven through
+// the MapperPipeline registry:
 //   A. Insight 1 (relaxed ordering) handed to a general router: SABRE with
 //      the relaxed (commutativity-aware) DAG vs the strict DAG.
 //   B. §6 travel-path phase: bottom unit one step late vs synced, on the
 //      lattice-surgery mapper (Fig. 16's design point).
-//   C. §6 unit movement: transversal vertical unit SWAP vs a split two-layer
-//      variant.
+//   C. §3.3 inter-unit pattern: QFT-IE-relaxed vs QFT-IE-strict.
 //   D. §2.3 latency awareness: our unit-based mapper (weighted, rotated
 //      graph) vs the LNN Hamiltonian-path solution charged real latencies.
 #include "arch/heavy_hex.hpp"
-#include "arch/lattice_surgery.hpp"
 #include "arch/sycamore.hpp"
-#include "baseline/lnn_baseline.hpp"
-#include "baseline/sabre.hpp"
 #include "bench_common.hpp"
-#include "circuit/qft_spec.hpp"
-#include "mapper/lattice_mapper.hpp"
-#include "mapper/sycamore_mapper.hpp"
 
 using namespace qfto;
 using namespace qfto::bench;
@@ -35,14 +29,13 @@ int main() {
     cases.push_back({"heavyhex-20", make_heavy_hex(heavy_hex_layout(20)), 20});
     cases.push_back({"heavyhex-30", make_heavy_hex(heavy_hex_layout(30)), 30});
     for (const auto& c : cases) {
-      SabreOptions strict;
-      strict.trials = 3;
-      SabreOptions relaxed = strict;
-      relaxed.use_relaxed_dag = true;
-      const Measured ms =
-          measure(sabre_route(qft_logical(c.n), c.g, strict), c.g, 0.0);
-      const Measured mr =
-          measure(sabre_route(qft_logical(c.n), c.g, relaxed), c.g, 0.0);
+      MapOptions strict;
+      strict.sabre.trials = 3;
+      strict.target = &c.g;
+      MapOptions relaxed = strict;
+      relaxed.sabre.use_relaxed_dag = true;
+      const Measured ms = run_engine("sabre", c.n, strict);
+      const Measured mr = run_engine("sabre", c.n, relaxed);
       t.add_row({c.name, std::to_string(c.n), std::to_string(ms.depth),
                  std::to_string(mr.depth), std::to_string(ms.swaps),
                  std::to_string(mr.swaps)});
@@ -54,13 +47,10 @@ int main() {
   {
     TablePrinter t({"m", "N", "offsetDepth", "syncedDepth", "speedup"});
     for (std::int32_t m : {8, 12, 16, 20}) {
-      const CouplingGraph g = make_lattice_surgery_rotated(m);
-      LatticeMapperOptions synced;
-      synced.phase_offset = 0;
-      const Measured off =
-          measure(map_qft_lattice(m), g, 0.0, lattice_latency(g));
-      const Measured syn =
-          measure(map_qft_lattice(m, synced), g, 0.0, lattice_latency(g));
+      MapOptions synced;
+      synced.lattice_phase_offset = 0;
+      const Measured off = run_engine("lattice", m * m);
+      const Measured syn = run_engine("lattice", m * m, synced);
       t.add_row({std::to_string(m), std::to_string(m * m),
                  std::to_string(off.depth), std::to_string(syn.depth),
                  fmt_double(static_cast<double>(syn.depth) / off.depth, 2)});
@@ -76,22 +66,18 @@ int main() {
     // inter-unit pattern switched between the two regimes.
     TablePrinter t({"backend", "N", "relaxedDepth", "strictDepth",
                     "strict/relaxed"});
+    MapOptions strict;
+    strict.strict_ie = true;
     for (std::int32_t m : {4, 6, 8, 10}) {
-      const CouplingGraph g = make_sycamore(m);
-      const Measured rel = measure(map_qft_sycamore(m), g, 0.0);
-      const Measured str = measure(map_qft_sycamore(m, true), g, 0.0);
+      const Measured rel = run_engine("sycamore", m * m);
+      const Measured str = run_engine("sycamore", m * m, strict);
       t.add_row({"sycamore", std::to_string(m * m), std::to_string(rel.depth),
                  std::to_string(str.depth),
                  fmt_double(static_cast<double>(str.depth) / rel.depth, 2)});
     }
     for (std::int32_t m : {8, 12, 16}) {
-      const CouplingGraph g = make_lattice_surgery_rotated(m);
-      LatticeMapperOptions strict;
-      strict.strict_ie = true;
-      const Measured rel =
-          measure(map_qft_lattice(m), g, 0.0, lattice_latency(g));
-      const Measured str =
-          measure(map_qft_lattice(m, strict), g, 0.0, lattice_latency(g));
+      const Measured rel = run_engine("lattice", m * m);
+      const Measured str = run_engine("lattice", m * m, strict);
       t.add_row({"lattice(w)", std::to_string(m * m),
                  std::to_string(rel.depth), std::to_string(str.depth),
                  fmt_double(static_cast<double>(str.depth) / rel.depth, 2)});
@@ -104,13 +90,8 @@ int main() {
   {
     TablePrinter t({"m", "N", "oursDepth", "lnnDepth", "lnn/ours"});
     for (std::int32_t m : {8, 12, 16, 20}) {
-      const CouplingGraph rot = make_lattice_surgery_rotated(m);
-      const CouplingGraph full = make_lattice_surgery_full(m);
-      const Measured ours =
-          measure(map_qft_lattice(m), rot, 0.0, lattice_latency(rot));
-      const Measured lnn =
-          measure(map_qft_on_path(full, lattice_snake_path(m)), full, 0.0,
-                  lattice_latency(full));
+      const Measured ours = run_engine("lattice", m * m);
+      const Measured lnn = run_engine("lnn_baseline", m * m);
       t.add_row({std::to_string(m), std::to_string(m * m),
                  std::to_string(ours.depth), std::to_string(lnn.depth),
                  fmt_double(static_cast<double>(lnn.depth) / ours.depth, 2)});

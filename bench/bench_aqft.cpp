@@ -5,13 +5,10 @@
 // state fidelity per cutoff.
 #include <cmath>
 
-#include "arch/line.hpp"
 #include "bench_common.hpp"
-#include "circuit/qft_spec.hpp"
 #include "circuit/scheduler.hpp"
 #include "circuit/transforms.hpp"
 #include "common/prng.hpp"
-#include "mapper/lnn_mapper.hpp"
 #include "sim/statevector.hpp"
 
 using namespace qfto;
@@ -19,7 +16,7 @@ using namespace qfto::bench;
 
 int main() {
   const std::int32_t n = 16;
-  const MappedCircuit full = map_qft_lnn(n);
+  const MappedCircuit full = map_qft("lnn", n).mapped;
 
   // Reference state for fidelity.
   Xoshiro256ss rng(11);

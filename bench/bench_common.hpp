@@ -9,6 +9,7 @@
 #include "circuit/stats.hpp"
 #include "common/format.hpp"
 #include "common/timer.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "verify/qft_checker.hpp"
 
 namespace qfto::bench {
@@ -33,6 +34,23 @@ inline Measured measure(const MappedCircuit& mc, const CouplingGraph& g,
     std::abort();
   }
   return Measured{r.depth, r.counts.swap, seconds, true};
+}
+
+/// Runs a registered pipeline engine end-to-end (map + native-latency check)
+/// and packages the paper's metrics; `seconds` reports mapping time only.
+/// Aborts on verification failure, like measure().
+inline Measured run_engine(const std::string& engine, std::int32_t n,
+                           MapOptions opts = {}) {
+  opts.verify = true;
+  const MapResult r = map_qft(engine, n, opts);
+  if (!r.check.ok) {
+    std::fprintf(stderr, "BENCH ABORT — invalid %s mapping on %s: %s\n",
+                 engine.c_str(), r.graph.name().c_str(),
+                 r.check.error.c_str());
+    std::abort();
+  }
+  return Measured{r.check.depth, r.check.counts.swap, r.timings.map_seconds,
+                  true};
 }
 
 /// Environment-tunable knob, e.g. SATMAP budget or SABRE trial count.

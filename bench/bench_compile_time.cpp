@@ -13,6 +13,7 @@
 #include "mapper/lattice_mapper.hpp"
 #include "mapper/lnn_mapper.hpp"
 #include "mapper/sycamore_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 
 namespace {
 
@@ -53,6 +54,28 @@ void BM_MapLattice(benchmark::State& state) {
   state.counters["qubits"] = m * m;
 }
 BENCHMARK(BM_MapLattice)->Arg(10)->Arg(20)->Arg(32);
+
+// Facade overhead: the same lattice compile through MapperPipeline, with
+// the graph build included and the checker off (map) or on (map+verify).
+void BM_PipelineLatticeMap(benchmark::State& state) {
+  const std::int32_t m = static_cast<std::int32_t>(state.range(0));
+  MapOptions opts;
+  opts.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft("lattice", m * m, opts));
+  }
+  state.counters["qubits"] = m * m;
+}
+BENCHMARK(BM_PipelineLatticeMap)->Arg(10)->Arg(20)->Arg(32);
+
+void BM_PipelineLatticeMapVerify(benchmark::State& state) {
+  const std::int32_t m = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_qft("lattice", m * m));
+  }
+  state.counters["qubits"] = m * m;
+}
+BENCHMARK(BM_PipelineLatticeMapVerify)->Arg(10)->Arg(20)->Arg(32);
 
 void BM_SabreRoute(benchmark::State& state) {
   const std::int32_t m = static_cast<std::int32_t>(state.range(0));

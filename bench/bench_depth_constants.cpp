@@ -1,55 +1,37 @@
 // The linear-depth guarantee (§4, §5, §6): depth / N for every backend
-// across a wide size sweep. Paper constants: LNN 4N, heavy-hex 5N (special
-// case; <=6N general), Sycamore 7N + O(sqrt N), lattice surgery 5N + O(1)
-// weighted. Our closed-loop constants are reported in EXPERIMENTS.md; the
-// point of this table is that depth/N converges to a constant (linearity),
-// which no general-purpose router achieves.
-#include "arch/heavy_hex.hpp"
-#include "arch/lattice_surgery.hpp"
-#include "arch/line.hpp"
-#include "arch/sycamore.hpp"
+// across a wide size sweep, all through the MapperPipeline registry (each
+// engine is checked under its native latency model). Paper constants: LNN
+// 4N, heavy-hex 5N (special case; <=6N general), Sycamore 7N + O(sqrt N),
+// lattice surgery 5N + O(1) weighted. Our closed-loop constants are reported
+// in EXPERIMENTS.md; the point of this table is that depth/N converges to a
+// constant (linearity), which no general-purpose router achieves.
 #include "bench_common.hpp"
-#include "mapper/heavy_hex_mapper.hpp"
-#include "mapper/lattice_mapper.hpp"
-#include "mapper/lnn_mapper.hpp"
-#include "mapper/sycamore_mapper.hpp"
 
 using namespace qfto;
 using namespace qfto::bench;
 
 int main() {
-  {
-    TablePrinter t({"backend", "N", "depth", "depth/N"});
-    for (std::int32_t n : {64, 128, 256, 512, 1024}) {
-      const CouplingGraph g = make_line(n);
-      const Measured m = measure(map_qft_lnn(n), g, 0.0);
-      t.add_row({"LNN", std::to_string(n), std::to_string(m.depth),
+  TablePrinter t({"backend", "N", "depth", "depth/N"});
+  struct Sweep {
+    const char* label;
+    const char* engine;
+    std::vector<std::int32_t> sizes;
+  };
+  const std::vector<Sweep> sweeps = {
+      {"LNN", "lnn", {64, 128, 256, 512, 1024}},
+      {"Heavy-hex", "heavy_hex", {100, 200, 400, 600, 1000}},
+      {"Sycamore", "sycamore", {64, 144, 256, 576, 1024}},
+      {"Lattice(w)", "lattice", {100, 256, 576, 1024}},
+  };
+  for (const auto& sweep : sweeps) {
+    for (const std::int32_t n : sweep.sizes) {
+      const Measured m = run_engine(sweep.engine, n);
+      t.add_row({sweep.label, std::to_string(n), std::to_string(m.depth),
                  fmt_double(static_cast<double>(m.depth) / n, 3)});
     }
-    for (std::int32_t n : {100, 200, 400, 600, 1000}) {
-      const CouplingGraph g = make_heavy_hex(heavy_hex_layout(n));
-      const Measured m = measure(map_qft_heavy_hex(n), g, 0.0);
-      t.add_row({"Heavy-hex", std::to_string(n), std::to_string(m.depth),
-                 fmt_double(static_cast<double>(m.depth) / n, 3)});
-    }
-    for (std::int32_t mm : {8, 12, 16, 24, 32}) {
-      const CouplingGraph g = make_sycamore(mm);
-      const Measured m = measure(map_qft_sycamore(mm), g, 0.0);
-      t.add_row({"Sycamore", std::to_string(mm * mm),
-                 std::to_string(m.depth),
-                 fmt_double(static_cast<double>(m.depth) / (mm * mm), 3)});
-    }
-    for (std::int32_t mm : {10, 16, 24, 32}) {
-      const CouplingGraph g = make_lattice_surgery_rotated(mm);
-      const Measured m =
-          measure(map_qft_lattice(mm), g, 0.0, lattice_latency(g));
-      t.add_row({"Lattice(w)", std::to_string(mm * mm),
-                 std::to_string(m.depth),
-                 fmt_double(static_cast<double>(m.depth) / (mm * mm), 3)});
-    }
-    std::printf("Depth constants — linearity of the guaranteed solutions "
-                "(paper: 4N LNN, 5N heavy-hex, 7N Sycamore, 5N lattice)\n\n%s\n",
-                t.render().c_str());
   }
+  std::printf("Depth constants — linearity of the guaranteed solutions "
+              "(paper: 4N LNN, 5N heavy-hex, 7N Sycamore, 5N lattice)\n\n%s\n",
+              t.render().c_str());
   return 0;
 }

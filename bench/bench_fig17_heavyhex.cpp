@@ -4,10 +4,7 @@
 // count), SABRE above ours and growing faster, with depth reduced to roughly
 // a quarter of SABRE's (§7.1.2).
 #include "arch/heavy_hex.hpp"
-#include "baseline/sabre.hpp"
 #include "bench_common.hpp"
-#include "circuit/qft_spec.hpp"
-#include "mapper/heavy_hex_mapper.hpp"
 
 using namespace qfto;
 using namespace qfto::bench;
@@ -20,16 +17,15 @@ int main() {
   double depth_ratio_sum = 0, swap_ratio_sum = 0;
   int count = 0;
   for (std::int32_t n = 10; n <= 100; n += 10) {
-    const CouplingGraph g = make_heavy_hex(heavy_hex_layout(n));
-    WallTimer t0;
-    const Measured mo = measure(map_qft_heavy_hex(n), g, 0.0);
-    const double ours_ct = t0.seconds();
+    const Measured mo = run_engine("heavy_hex", n);
+    const double ours_ct = mo.seconds;
 
-    SabreOptions sb;
-    sb.trials = static_cast<std::int32_t>(sabre_trials);
-    WallTimer t1;
-    const MappedCircuit sabre = sabre_route(qft_logical(n), g, sb);
-    const Measured ms = measure(sabre, g, t1.seconds());
+    // SABRE routes on the same heavy-hex graph via the target override.
+    const CouplingGraph g = make_heavy_hex(heavy_hex_layout(n));
+    MapOptions sb;
+    sb.sabre.trials = static_cast<std::int32_t>(sabre_trials);
+    sb.target = &g;
+    const Measured ms = run_engine("sabre", n, sb);
 
     const double dr = static_cast<double>(mo.depth) / ms.depth;
     const double sr = static_cast<double>(mo.swaps) / ms.swaps;

@@ -3,10 +3,7 @@
 // about half of SABRE's at 100 qubits, ~20% fewer SWAPs, with SABRE ahead
 // only at the very smallest sizes.
 #include "arch/sycamore.hpp"
-#include "baseline/sabre.hpp"
 #include "bench_common.hpp"
-#include "circuit/qft_spec.hpp"
-#include "mapper/sycamore_mapper.hpp"
 
 using namespace qfto;
 using namespace qfto::bench;
@@ -18,16 +15,15 @@ int main() {
                       "SabreCT(s)"});
   for (std::int32_t m = 2; m <= 10; m += 2) {
     const std::int32_t n = m * m;
-    const CouplingGraph g = make_sycamore(m);
-    WallTimer t0;
-    const Measured mo = measure(map_qft_sycamore(m), g, 0.0);
-    const double ours_ct = t0.seconds();
+    const Measured mo = run_engine("sycamore", n);
+    const double ours_ct = mo.seconds;
 
-    SabreOptions sb;
-    sb.trials = static_cast<std::int32_t>(sabre_trials);
-    WallTimer t1;
-    const MappedCircuit routed = sabre_route(qft_logical(n), g, sb);
-    const Measured ms = measure(routed, g, t1.seconds());
+    // SABRE routes on the same Sycamore graph via the target override.
+    const CouplingGraph g = make_sycamore(m);
+    MapOptions sb;
+    sb.sabre.trials = static_cast<std::int32_t>(sabre_trials);
+    sb.target = &g;
+    const Measured ms = run_engine("sabre", n, sb);
 
     table.add_row({std::to_string(m), std::to_string(n),
                    std::to_string(mo.depth), std::to_string(ms.depth),

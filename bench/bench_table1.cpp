@@ -1,20 +1,15 @@
 // Table 1: our approach vs SATMAP and SABRE across Sycamore (2*2, 4*4, 6*6),
 // heavy-hex (2*5, 4*5, 6*5) and lattice surgery (10*10, 20*20, 30*30) —
-// depth, #SWAP, compilation time. SATMAP runs under a scaled-down time
-// budget (env QFTO_SATMAP_BUDGET, default 10 s; the paper used 2 h) and is
-// expected to TLE beyond the smallest instances, as in the paper.
-#include <functional>
+// depth, #SWAP, compilation time. All engines run through the MapperPipeline
+// registry; SATMAP runs under a scaled-down time budget (env
+// QFTO_SATMAP_BUDGET, default 10 s; the paper used 2 h) and is expected to
+// TLE beyond the smallest instances, as in the paper.
+#include <stdexcept>
 
 #include "arch/heavy_hex.hpp"
 #include "arch/lattice_surgery.hpp"
 #include "arch/sycamore.hpp"
-#include "baseline/sabre.hpp"
-#include "baseline/satmap.hpp"
 #include "bench_common.hpp"
-#include "circuit/qft_spec.hpp"
-#include "mapper/heavy_hex_mapper.hpp"
-#include "mapper/lattice_mapper.hpp"
-#include "mapper/sycamore_mapper.hpp"
 
 using namespace qfto;
 using namespace qfto::bench;
@@ -25,10 +20,8 @@ struct Row {
   std::string arch_name;
   std::string config;
   std::int32_t n;
-  CouplingGraph graph;                      // graph our mapper uses
-  CouplingGraph baseline_graph;             // graph baselines may use (§7.2)
-  std::function<MappedCircuit()> ours;
-  bool weighted;  // lattice surgery: apply the §2.3 latency model
+  std::string engine;            // pipeline engine for "ours"
+  CouplingGraph baseline_graph;  // graph baselines may use (§7.2)
   bool run_satmap;
 };
 
@@ -41,23 +34,20 @@ int main() {
 
   std::vector<Row> rows;
   for (std::int32_t m : {2, 4, 6}) {
-    CouplingGraph g = make_sycamore(m);
     rows.push_back({"Sycamore", std::to_string(m) + "*" + std::to_string(m),
-                    m * m, g, g, [m] { return map_qft_sycamore(m); }, false,
+                    m * m, "sycamore", make_sycamore(m),
                     m * m <= max_n_satmap});
   }
   for (std::int32_t groups : {2, 4, 6}) {
     const std::int32_t n = 5 * groups;
-    CouplingGraph g = make_heavy_hex(heavy_hex_layout(n));
-    rows.push_back({"Heavy-hex", std::to_string(groups) + "*5", n, g, g,
-                    [n] { return map_qft_heavy_hex(n); }, false,
-                    n <= max_n_satmap});
+    rows.push_back({"Heavy-hex", std::to_string(groups) + "*5", n, "heavy_hex",
+                    make_heavy_hex(heavy_hex_layout(n)), n <= max_n_satmap});
   }
   for (std::int32_t m : {10, 20, 30}) {
-    CouplingGraph rot = make_lattice_surgery_rotated(m);
-    CouplingGraph full = make_lattice_surgery_full(m);
+    // §7.2: baselines get the full link set at uniform latency (favors
+    // them); our lattice engine pays the §2.3 weighted latencies natively.
     rows.push_back({"Lattice", std::to_string(m) + "*" + std::to_string(m),
-                    m * m, rot, full, [m] { return map_qft_lattice(m); }, true,
+                    m * m, "lattice", make_lattice_surgery_full(m),
                     m * m <= max_n_satmap});
   }
 
@@ -65,36 +55,28 @@ int main() {
                       "OursCT(s)", "SatDepth", "Sat#SWAP", "SatCT(s)",
                       "SabreDepth", "Sabre#SWAP", "SabreCT(s)"});
 
-  for (auto& row : rows) {
-    const LatencyFn latency =
-        row.weighted ? lattice_latency(row.graph) : unit_latency;
-    WallTimer t;
-    const MappedCircuit ours = row.ours();
-    const Measured mo = measure(ours, row.graph, t.seconds(), latency);
+  for (const auto& row : rows) {
+    const Measured mo = run_engine(row.engine, row.n);
 
     std::string sat_depth = "TLE", sat_swaps = "N/A", sat_ct = "TLE";
     if (row.run_satmap) {
-      SatmapOptions so;
-      so.time_budget_seconds = satmap_budget;
-      const SatmapResult sr = satmap_route(qft_logical(row.n), row.graph, so);
-      if (sr.solved) {
-        const Measured ms =
-            measure(sr.mapped, row.graph, sr.seconds, latency);
+      MapOptions so;
+      so.satmap.time_budget_seconds = satmap_budget;
+      so.target = &row.baseline_graph;
+      try {
+        const Measured ms = run_engine("satmap", row.n, so);
         sat_depth = std::to_string(ms.depth);
         sat_swaps = std::to_string(ms.swaps);
-        sat_ct = fmt_double(sr.seconds, 2);
-      } else {
+        sat_ct = fmt_double(ms.seconds, 2);
+      } catch (const std::runtime_error&) {
         sat_ct = "TLE(" + fmt_double(satmap_budget, 0) + "s)";
       }
     }
 
-    SabreOptions sb;
-    sb.trials = static_cast<std::int32_t>(sabre_trials);
-    WallTimer ts;
-    // §7.2: baselines get the full link set at uniform latency (favors them).
-    const MappedCircuit sabre =
-        sabre_route(qft_logical(row.n), row.baseline_graph, sb);
-    const Measured msab = measure(sabre, row.baseline_graph, ts.seconds());
+    MapOptions sb;
+    sb.sabre.trials = static_cast<std::int32_t>(sabre_trials);
+    sb.target = &row.baseline_graph;
+    const Measured msab = run_engine("sabre", row.n, sb);
 
     table.add_row({row.arch_name, row.config, std::to_string(mo.depth),
                    std::to_string(mo.swaps), fmt_double(mo.seconds, 3),

@@ -1,34 +1,28 @@
 // Large-scale FT compilation (§7.2): compile QFT-1024 for the lattice-surgery
-// backend and print the resource report — the scale at which only analytical
-// mappers remain usable (SATMAP times out, SABRE takes minutes and produces
-// ~10x the depth).
+// backend through the MapperPipeline and print the resource report — the
+// scale at which only analytical mappers remain usable (SATMAP times out,
+// SABRE takes minutes and produces ~10x the depth).
 #include <cstdio>
 
-#include "arch/lattice_surgery.hpp"
-#include "arch/latency_model.hpp"
-#include "common/timer.hpp"
-#include "mapper/lattice_mapper.hpp"
-#include "verify/qft_checker.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 
 int main() {
   using namespace qfto;
   for (const std::int32_t m : {16, 24, 32}) {
     const std::int32_t n = m * m;
-    WallTimer timer;
-    const MappedCircuit mc = map_qft_lattice(m);
-    const double compile_s = timer.seconds();
-    const CouplingGraph g = make_lattice_surgery_rotated(m);
-    const auto r = check_qft_mapping(mc, g, lattice_latency(g));
-    if (!r.ok) {
-      std::printf("m=%d FAILED: %s\n", m, r.error.c_str());
+    const MapResult result = map_qft("lattice", n);
+    if (!result.check.ok) {
+      std::printf("m=%d FAILED: %s\n", m, result.check.error.c_str());
       return 1;
     }
     std::printf(
         "QFT-%-5d lattice %2dx%-2d  depth=%-7lld (%.2f/qubit)  SWAPs=%-8lld "
         "CPHASE=%-7lld  compile=%.3fs\n",
-        n, m, m, static_cast<long long>(r.depth),
-        static_cast<double>(r.depth) / n, static_cast<long long>(r.counts.swap),
-        static_cast<long long>(r.counts.cphase), compile_s);
+        n, m, m, static_cast<long long>(result.check.depth),
+        static_cast<double>(result.check.depth) / n,
+        static_cast<long long>(result.check.counts.swap),
+        static_cast<long long>(result.check.counts.cphase),
+        result.timings.map_seconds);
   }
   std::printf("\nDepth grows linearly in N = m*m; compile time stays in "
               "fractions of a second — no recompilation pressure at scale.\n");

@@ -1,46 +1,48 @@
-// qftmap — command-line QFT kernel compiler.
+// qftmap — command-line QFT kernel compiler over the MapperPipeline registry.
 //
+//   qftmap --list
 //   qftmap --arch lnn       --n 64            [--out kernel.qasm]
-//   qftmap --arch heavyhex  --n 50
+//   qftmap --arch heavy_hex --n 50
 //   qftmap --arch sycamore  --m 6   [--strict-ie]
 //   qftmap --arch lattice   --m 12  [--synced]
-//   qftmap --arch grid      --m 8
+//   qftmap --arch sabre     --n 16  [--trials T]
+//   qftmap --arch satmap    --n 5   [--budget SECONDS]
 //   ... [--aqft K] [--cnot-basis] [--quiet]
 //
-// Compiles the QFT for the chosen backend, verifies it (static checker;
-// simulation too when small enough), prints the resource report, and
-// optionally writes OpenQASM 2.0.
+// Every engine is selected by its registry name (`--list` enumerates them);
+// the pipeline builds the native coupling graph, maps, and verifies with the
+// static checker. Small instances are additionally simulated. Output can be
+// written as OpenQASM 2.0.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
-#include "arch/heavy_hex.hpp"
-#include "arch/lattice_surgery.hpp"
-#include "arch/latency_model.hpp"
-#include "arch/line.hpp"
-#include "arch/grid.hpp"
-#include "arch/sycamore.hpp"
+#include "circuit/stats.hpp"
 #include "circuit/transforms.hpp"
-#include "common/timer.hpp"
-#include "mapper/heavy_hex_mapper.hpp"
-#include "mapper/lattice_mapper.hpp"
-#include "mapper/lnn_mapper.hpp"
-#include "mapper/sycamore_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "qasm/qasm.hpp"
 #include "verify/equivalence.hpp"
-#include "verify/qft_checker.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --arch {lnn|heavyhex|sycamore|lattice|grid} "
-      "(--n N | --m M) [--out FILE] [--strict-ie] [--synced] [--aqft K] "
-      "[--cnot-basis] [--quiet]\n",
-      argv0);
+      "usage: %s --arch ENGINE (--n N | --m M) [--out FILE] [--strict-ie] "
+      "[--synced] [--trials T] [--budget SECONDS] [--aqft K] [--cnot-basis] "
+      "[--quiet]\n       %s --list\n",
+      argv0, argv0);
   return 2;
+}
+
+int list_engines() {
+  const auto& pipeline = qfto::MapperPipeline::global();
+  for (const auto& name : pipeline.engine_names()) {
+    std::printf("%-14s %s\n", name.c_str(),
+                pipeline.at(name).description().c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -49,7 +51,8 @@ int main(int argc, char** argv) {
   using namespace qfto;
   std::string arch, out_path;
   std::int32_t n = -1, m = -1, aqft = -1;
-  bool strict_ie = false, synced = false, cnot_basis = false, quiet = false;
+  MapOptions opts;
+  bool cnot_basis = false, quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -57,10 +60,13 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (a == "--arch") {
+    if (a == "--list") {
+      return list_engines();
+    } else if (a == "--arch") {
       const char* v = next();
       if (!v) return usage(argv[0]);
       arch = v;
+      if (arch == "heavyhex") arch = "heavy_hex";  // legacy spelling
     } else if (a == "--n") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -73,14 +79,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       aqft = std::atoi(v);
+    } else if (a == "--trials") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.sabre.trials = std::atoi(v);
+    } else if (a == "--budget") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.satmap.time_budget_seconds = std::atof(v);
     } else if (a == "--out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
       out_path = v;
     } else if (a == "--strict-ie") {
-      strict_ie = true;
+      opts.strict_ie = true;
     } else if (a == "--synced") {
-      synced = true;
+      opts.lattice_phase_offset = 0;
     } else if (a == "--cnot-basis") {
       cnot_basis = true;
     } else if (a == "--quiet") {
@@ -90,68 +104,48 @@ int main(int argc, char** argv) {
     }
   }
   if (arch.empty()) return usage(argv[0]);
+  if (n <= 0 && m > 0) n = m * m;  // square backends take --m for convenience
+  if (n <= 0) return usage(argv[0]);
 
   try {
-    WallTimer timer;
-    MappedCircuit mc;
-    CouplingGraph graph;
-    LatencyFn latency = unit_latency;
-    if (arch == "lnn") {
-      if (n <= 0) return usage(argv[0]);
-      mc = map_qft_lnn(n);
-      graph = make_line(n);
-    } else if (arch == "heavyhex") {
-      if (n <= 0) return usage(argv[0]);
-      mc = map_qft_heavy_hex(n);
-      graph = make_heavy_hex(heavy_hex_layout(n));
-    } else if (arch == "sycamore") {
-      if (m <= 0) return usage(argv[0]);
-      mc = map_qft_sycamore(m, strict_ie);
-      graph = make_sycamore(m);
-    } else if (arch == "lattice") {
-      if (m <= 0) return usage(argv[0]);
-      LatticeMapperOptions opts;
-      opts.strict_ie = strict_ie;
-      if (synced) opts.phase_offset = 0;
-      mc = map_qft_lattice(m, opts);
-      graph = make_lattice_surgery_rotated(m);
-    } else if (arch == "grid") {
-      if (m <= 0) return usage(argv[0]);
-      LatticeMapperOptions opts;
-      opts.strict_ie = strict_ie;
-      if (synced) opts.phase_offset = 0;
-      mc = map_qft_grid2d(m, opts);
-      graph = make_grid(m, m);
-    } else {
-      return usage(argv[0]);
-    }
-    const double compile_s = timer.seconds();
-    if (arch == "lattice") latency = lattice_latency(graph);
-
-    const auto check = check_qft_mapping(mc, graph, latency);
-    if (!check.ok) {
+    MapResult result = map_qft(arch, n, opts);
+    if (!result.check.ok) {
       std::fprintf(stderr, "INTERNAL ERROR — verification failed: %s\n",
-                   check.error.c_str());
+                   result.check.error.c_str());
       return 1;
     }
     double sim_err = -1.0;
-    if (mc.num_physical() <= 14) sim_err = mapped_equivalence_error(mc);
+    if (result.mapped.num_physical() <= 14) {
+      sim_err = mapped_equivalence_error(result.mapped);
+    }
 
-    if (aqft > 0) mc.circuit = prune_small_rotations(mc.circuit, aqft);
-    if (cnot_basis) mc.circuit = decompose_to_cnot(mc.circuit);
+    if (aqft > 0) {
+      result.mapped.circuit = prune_small_rotations(result.mapped.circuit, aqft);
+    }
+    if (cnot_basis) {
+      result.mapped.circuit = decompose_to_cnot(result.mapped.circuit);
+    }
 
     if (!quiet) {
+      std::printf("engine         : %s\n", result.engine.c_str());
       std::printf("backend        : %s (%d physical qubits)\n",
-                  graph.name().c_str(), graph.num_qubits());
+                  result.graph.name().c_str(), result.graph.num_qubits());
+      if (result.n != result.requested_n) {
+        std::printf("size           : requested %d, mapped native %d\n",
+                    result.requested_n, result.n);
+      }
       std::printf("depth          : %lld cycles (%.2f per qubit)\n",
-                  static_cast<long long>(check.depth),
-                  static_cast<double>(check.depth) / graph.num_qubits());
-      std::printf("gates          : %s\n", check.counts.to_string().c_str());
-      std::printf("compile time   : %.4f s\n", compile_s);
+                  static_cast<long long>(result.check.depth),
+                  static_cast<double>(result.check.depth) /
+                      result.graph.num_qubits());
+      std::printf("gates          : %s\n",
+                  result.check.counts.to_string().c_str());
+      std::printf("compile time   : %.4f s (+%.4f s verify)\n",
+                  result.timings.map_seconds, result.timings.check_seconds);
       if (sim_err >= 0) std::printf("simulation err : %.2e\n", sim_err);
       if (aqft > 0 || cnot_basis) {
         std::printf("post-transform : %s\n",
-                    count_gates(mc.circuit).to_string().c_str());
+                    count_gates(result.mapped.circuit).to_string().c_str());
       }
     }
     if (!out_path.empty()) {
@@ -160,7 +154,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
         return 1;
       }
-      f << to_qasm(mc);
+      f << to_qasm(result.mapped);
       if (!quiet) std::printf("wrote          : %s\n", out_path.c_str());
     }
     return 0;

@@ -10,9 +10,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "arch/heavy_hex.hpp"
 #include "circuit/inverse.hpp"
-#include "mapper/heavy_hex_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "sim/statevector.hpp"
 
 int main() {
@@ -21,9 +20,9 @@ int main() {
   const double phi = 0.314159;           // phase to estimate, in [0,1)
 
   // Hardware inverse QFT for the counting register: map the forward kernel
-  // analytically, then invert it (reverse + conjugate) — linear depth and
-  // hardware compliance carry over verbatim.
-  const MappedCircuit fwd = map_qft_heavy_hex(counting);
+  // analytically (and verified, via the pipeline), then invert it (reverse +
+  // conjugate) — linear depth and hardware compliance carry over verbatim.
+  const MappedCircuit fwd = map_qft("heavy_hex", counting).mapped;
   const MappedCircuit inv_qft = inverse_mapped(fwd);
 
   // State preparation on the physical register. The eigenstate qubit of QPE

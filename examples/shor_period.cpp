@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "circuit/inverse.hpp"
-#include "mapper/lnn_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "sim/statevector.hpp"
 
 namespace {
@@ -63,7 +63,7 @@ int main() {
   }
 
   // Hardware QFT on an 8-qubit line (LNN base case of the framework).
-  const MappedCircuit qft = map_qft_lnn(n);
+  const MappedCircuit qft = map_qft("lnn", n).mapped;
 
   StateVector sv(n);
   auto& amps = sv.amplitudes();

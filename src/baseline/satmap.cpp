@@ -242,7 +242,14 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
     }
     Solver solver;
     const Encoding enc = build(solver, logical, g, layers, -1);
-    const Result r = solver.solve(deadline.remaining_seconds());
+    // The budget can run out *during* build(); Solver::solve treats a
+    // non-positive budget as unlimited, so it must not be forwarded as 0.
+    const double remaining = deadline.remaining_seconds();
+    if (remaining <= 0.0) {
+      result.timed_out = true;
+      break;
+    }
+    const Result r = solver.solve(remaining);
     if (r == Result::kTimeout) {
       result.timed_out = true;
       break;
@@ -259,7 +266,9 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
         Solver s2;
         const Encoding enc2 =
             build(s2, logical, g, layers, static_cast<std::int32_t>(budget));
-        const Result r2 = s2.solve(deadline.remaining_seconds());
+        const double rem2 = deadline.remaining_seconds();
+        if (rem2 <= 0.0) break;  // keep the depth-minimal schedule found
+        const Result r2 = s2.solve(rem2);
         if (r2 != Result::kSat) break;
         best = extract(s2, enc2, logical, g, layers);
         budget = best.swaps - 1;

@@ -26,6 +26,12 @@ class Deadline {
   explicit Deadline(double budget_seconds);
 
   bool expired() const;
+
+  /// Seconds left, clamped at 0 once the budget is exhausted. Careful when
+  /// forwarding this as another budget: consumers that treat a non-positive
+  /// budget as "never expires" (e.g. sat::Solver::solve) must check
+  /// expired() first, or a run that exhausts its budget between calls gets
+  /// an *unlimited* continuation instead of an immediate timeout.
   double remaining_seconds() const;
 
  private:

@@ -1,0 +1,52 @@
+#include "pipeline/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace qfto {
+
+std::vector<BatchItem> map_qft_batch(const std::vector<BatchRequest>& requests,
+                                     std::int32_t num_threads,
+                                     const MapperPipeline& pipeline) {
+  std::vector<BatchItem> items(requests.size());
+  if (requests.empty()) return items;
+
+  if (num_threads <= 0) {
+    num_threads = static_cast<std::int32_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  num_threads = std::min<std::int32_t>(
+      num_threads, static_cast<std::int32_t>(requests.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < requests.size();
+         i = next.fetch_add(1)) {
+      const BatchRequest& req = requests[i];
+      try {
+        items[i].result = pipeline.run(req.engine, req.n, req.options);
+        items[i].ok = true;
+      } catch (const std::exception& e) {
+        items[i].error = e.what();
+      } catch (...) {
+        // Exceptions may not escape the worker thread (std::terminate);
+        // custom engines are not bound to std::exception.
+        items[i].error = "unknown error";
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return items;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (std::int32_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return items;
+}
+
+}  // namespace qfto

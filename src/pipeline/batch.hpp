@@ -1,0 +1,34 @@
+// Parallel batch mapping over the MapperPipeline: compile many (engine, n)
+// requests concurrently on a bounded thread pool. Engines are stateless and
+// every run builds its own graph, so requests never share mutable state —
+// this is the seam the ROADMAP's batch-service direction grows from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/mapper_pipeline.hpp"
+
+namespace qfto {
+
+struct BatchRequest {
+  std::string engine;
+  std::int32_t n = 0;
+  MapOptions options;  // `target`, if set, must outlive the batch call
+};
+
+/// Per-request outcome. Engine failures (unknown engine, SATMAP TLE, bad
+/// target) are captured here instead of aborting the whole batch.
+struct BatchItem {
+  bool ok = false;
+  std::string error;  // empty when ok
+  MapResult result;   // valid when ok
+};
+
+/// Runs every request through `pipeline`, `num_threads` at a time
+/// (0 = hardware concurrency). Results are returned in request order.
+std::vector<BatchItem> map_qft_batch(
+    const std::vector<BatchRequest>& requests, std::int32_t num_threads = 0,
+    const MapperPipeline& pipeline = MapperPipeline::global());
+
+}  // namespace qfto

@@ -1,0 +1,224 @@
+// The seven paper engines registered behind MapperPipeline: the four
+// structured mappers (§2.2, §4, §5, §6) and the three baselines (§7).
+#include <memory>
+#include <stdexcept>
+
+#include "arch/grid.hpp"
+#include "arch/heavy_hex.hpp"
+#include "arch/lattice_surgery.hpp"
+#include "arch/line.hpp"
+#include "arch/sycamore.hpp"
+#include "baseline/lnn_baseline.hpp"
+#include "circuit/qft_spec.hpp"
+#include "mapper/heavy_hex_mapper.hpp"
+#include "mapper/lattice_mapper.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "mapper/sycamore_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
+
+namespace qfto {
+namespace {
+
+/// Smallest m >= lo with m*m >= n. 64-bit square so huge n cannot overflow.
+std::int32_t grid_side(std::int32_t n, std::int32_t lo) {
+  std::int32_t m = lo;
+  while (static_cast<std::int64_t>(m) * m < n) ++m;
+  return m;
+}
+
+// ------------------------------------------------------ structured mappers --
+
+class LnnEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "lnn"; }
+  std::string description() const override {
+    return "linear-depth LNN QFT (Maslov/Zhang base case, §2.2)";
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_line(n);
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions&) const override {
+    return map_qft_lnn(n);
+  }
+};
+
+class HeavyHexEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "heavy_hex"; }
+  std::string description() const override {
+    return "heavy-hex main line + dangling points (§4, N multiple of 5)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    return n <= 5 ? 5 : (n + 4) / 5 * 5;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_heavy_hex(heavy_hex_layout(n));
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions&) const override {
+    return map_qft_heavy_hex(n);
+  }
+};
+
+class SycamoreEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "sycamore"; }
+  std::string description() const override {
+    return "Sycamore unit divide-and-conquer (§5, N = m*m with even m)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    std::int32_t m = grid_side(n, 2);
+    if (m % 2 != 0) ++m;
+    return m * m;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_sycamore(grid_side(n, 2));
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions& opts) const override {
+    return map_qft_sycamore(grid_side(n, 2), opts.strict_ie);
+  }
+};
+
+class LatticeEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "lattice"; }
+  std::string description() const override {
+    return "lattice-surgery row units on the rotated graph (§6, N = m*m)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    const std::int32_t m = grid_side(n, 2);
+    return m * m;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_lattice_surgery_rotated(grid_side(n, 2));
+  }
+  LatencyFn latency(const CouplingGraph& g) const override {
+    return lattice_latency(g);
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions& opts) const override {
+    LatticeMapperOptions lopts;
+    lopts.strict_ie = opts.strict_ie;
+    lopts.phase_offset = opts.lattice_phase_offset;
+    lopts.transversal_unit_swap = opts.transversal_unit_swap;
+    return map_qft_lattice(grid_side(n, 2), lopts);
+  }
+};
+
+class Grid2dEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "grid"; }
+  std::string description() const override {
+    return "row-unit scheme on the plain 2D grid (Appendix 7, N = m*m)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    const std::int32_t m = grid_side(n, 2);
+    return m * m;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    const std::int32_t m = grid_side(n, 2);
+    return make_grid(m, m);
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions& opts) const override {
+    LatticeMapperOptions lopts;
+    lopts.strict_ie = opts.strict_ie;
+    lopts.phase_offset = opts.lattice_phase_offset;
+    lopts.transversal_unit_swap = opts.transversal_unit_swap;
+    return map_qft_grid2d(grid_side(n, 2), lopts);
+  }
+};
+
+// --------------------------------------------------------------- baselines --
+
+class LnnBaselineEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "lnn_baseline"; }
+  std::string description() const override {
+    return "LNN snake path on the full lattice-surgery graph (§7, Fig. 19)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    const std::int32_t m = grid_side(n, 2);
+    return m * m;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_lattice_surgery_full(grid_side(n, 2));
+  }
+  LatencyFn latency(const CouplingGraph& g) const override {
+    // The snake rides the axial links; charging the §2.3 weighted model is
+    // exactly the comparison the paper makes against this baseline.
+    return lattice_latency(g);
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph& g,
+                    const MapOptions&) const override {
+    return map_qft_on_path(g, lattice_snake_path(grid_side(n, 2)));
+  }
+};
+
+/// Shared target-graph selection for the routed baselines: the native line,
+/// or the caller-supplied device graph (§7.2 gives baselines all links).
+CouplingGraph routed_target(std::int32_t n, const MapOptions& opts,
+                            const char* who) {
+  if (opts.target == nullptr) return make_line(n);
+  require(opts.target->num_qubits() >= n,
+          std::string(who) + ": target graph smaller than the circuit");
+  return *opts.target;
+}
+
+class SabreEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "sabre"; }
+  std::string description() const override {
+    return "SABRE heuristic router (ASPLOS'19 baseline; line or target graph)";
+  }
+  CouplingGraph build_graph(std::int32_t n,
+                            const MapOptions& opts) const override {
+    return routed_target(n, opts, "sabre");
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph& g,
+                    const MapOptions& opts) const override {
+    return sabre_route(qft_logical(n), g, opts.sabre);
+  }
+};
+
+class SatmapEngine final : public MapperEngine {
+ public:
+  std::string name() const override { return "satmap"; }
+  std::string description() const override {
+    return "SATMAP optimal SAT router (MICRO'22 baseline; TLE beyond ~10q)";
+  }
+  CouplingGraph build_graph(std::int32_t n,
+                            const MapOptions& opts) const override {
+    return routed_target(n, opts, "satmap");
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph& g,
+                    const MapOptions& opts) const override {
+    const SatmapResult result = satmap_route(qft_logical(n), g, opts.satmap);
+    if (!result.solved) {
+      throw std::runtime_error(
+          result.timed_out
+              ? "satmap: time budget exhausted (the Table 1 TLE outcome)"
+              : "satmap: no schedule within the layer bound");
+    }
+    return result.mapped;
+  }
+};
+
+}  // namespace
+
+MapperPipeline MapperPipeline::with_paper_engines() {
+  MapperPipeline pipeline;
+  pipeline.register_engine(std::make_unique<LnnEngine>());
+  pipeline.register_engine(std::make_unique<HeavyHexEngine>());
+  pipeline.register_engine(std::make_unique<SycamoreEngine>());
+  pipeline.register_engine(std::make_unique<LatticeEngine>());
+  pipeline.register_engine(std::make_unique<Grid2dEngine>());
+  pipeline.register_engine(std::make_unique<LnnBaselineEngine>());
+  pipeline.register_engine(std::make_unique<SabreEngine>());
+  pipeline.register_engine(std::make_unique<SatmapEngine>());
+  return pipeline;
+}
+
+}  // namespace qfto

@@ -1,0 +1,85 @@
+#include "pipeline/mapper_pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace qfto {
+
+void MapperPipeline::register_engine(
+    std::unique_ptr<const MapperEngine> engine) {
+  require(engine != nullptr, "MapperPipeline: null engine");
+  const std::string key = engine->name();
+  require(!key.empty(), "MapperPipeline: engine with empty name");
+  engines_[key] = std::move(engine);
+}
+
+std::vector<std::string> MapperPipeline::engine_names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [key, engine] : engines_) names.push_back(key);
+  return names;  // std::map iteration order is already sorted
+}
+
+bool MapperPipeline::has(const std::string& name) const {
+  return engines_.count(name) != 0;
+}
+
+const MapperEngine* MapperPipeline::find(const std::string& name) const {
+  const auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+const MapperEngine& MapperPipeline::at(const std::string& name) const {
+  const MapperEngine* engine = find(name);
+  if (engine == nullptr) {
+    std::string known;
+    for (const auto& key : engine_names()) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument("MapperPipeline: unknown engine '" + name +
+                                "' (known: " + known + ")");
+  }
+  return *engine;
+}
+
+MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
+                              const MapOptions& opts) const {
+  require(n >= 1, "MapperPipeline::run: n >= 1");
+  // Sane ceiling: keeps native-size arithmetic (rounding up to squares /
+  // multiples of five) comfortably inside int32 on hostile CLI input.
+  require(n <= 16'777'216, "MapperPipeline::run: n too large");
+  const MapperEngine& engine = at(engine_name);
+
+  MapResult result;
+  result.engine = engine.name();
+  result.requested_n = n;
+  result.n = engine.native_size(n);
+  result.graph = engine.build_graph(result.n, opts);
+
+  WallTimer timer;
+  result.mapped = engine.map(result.n, result.graph, opts);
+  result.timings.map_seconds = timer.seconds();
+
+  if (opts.verify) {
+    timer.reset();
+    const LatencyFn latency = engine.latency(result.graph);
+    result.check = check_qft_mapping(result.mapped, result.graph, latency);
+    result.timings.check_seconds = timer.seconds();
+  }
+  return result;
+}
+
+const MapperPipeline& MapperPipeline::global() {
+  static const MapperPipeline pipeline = MapperPipeline::with_paper_engines();
+  return pipeline;
+}
+
+MapResult map_qft(const std::string& arch, std::int32_t n,
+                  const MapOptions& opts) {
+  return MapperPipeline::global().run(arch, n, opts);
+}
+
+}  // namespace qfto

@@ -1,0 +1,138 @@
+// Unified mapping pipeline: every QFT mapper and baseline in qfto behind one
+// string-keyed facade, in the spirit of percy's interchangeable SAT engines.
+//
+//   MapResult r = map_qft("sycamore", 36);
+//   r.mapped     — the hardware circuit + initial/final mappings
+//   r.graph      — the native coupling graph the circuit targets
+//   r.check      — static-checker verdict, depth (native latency) and counts
+//   r.timings    — wall-clock split between mapping and verification
+//
+// Engines snap the requested size up to the nearest native size (e.g.
+// `sycamore` maps n=30 on the m=6 grid, N=36) and report both numbers.
+// Structured mappers own their topology; the routed baselines (`sabre`,
+// `satmap`) route the logical QFT on a line by default and accept any
+// target graph via MapOptions::target.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "arch/latency_model.hpp"
+#include "baseline/sabre.hpp"
+#include "baseline/satmap.hpp"
+#include "circuit/mapped_circuit.hpp"
+#include "verify/qft_checker.hpp"
+
+namespace qfto {
+
+struct MapOptions {
+  // Structured-mapper ablation knobs (§3.3 strict IE, §6 lattice variants).
+  bool strict_ie = false;
+  std::int32_t lattice_phase_offset = 1;
+  bool transversal_unit_swap = true;
+
+  // Routed-baseline knobs, forwarded verbatim.
+  SabreOptions sabre;
+  SatmapOptions satmap;
+
+  /// Routed engines (`sabre`, `satmap`) run on this graph instead of their
+  /// native line when set (§7.2 gives baselines the full link set). Must
+  /// outlive the call. Structured mappers ignore it — they own their
+  /// topology.
+  const CouplingGraph* target = nullptr;
+
+  /// Run the static checker and fill MapResult::check. On by default; turn
+  /// off only for timing-only runs where verification is done elsewhere.
+  bool verify = true;
+};
+
+struct MapTimings {
+  double map_seconds = 0.0;
+  double check_seconds = 0.0;
+  double total_seconds() const { return map_seconds + check_seconds; }
+};
+
+struct MapResult {
+  std::string engine;
+  std::int32_t requested_n = 0;  // size the caller asked for
+  std::int32_t n = 0;            // engine-native size actually mapped
+  MappedCircuit mapped;
+  CouplingGraph graph;   // coupling graph `mapped` is valid on
+  QftCheckResult check;  // empty unless MapOptions::verify
+  MapTimings timings;
+};
+
+/// One mapping engine behind the facade. Implementations are stateless and
+/// callable concurrently.
+class MapperEngine {
+ public:
+  virtual ~MapperEngine() = default;
+
+  /// Registry key (`lnn`, `heavy_hex`, `sycamore`, `lattice`, `sabre`,
+  /// `satmap`, `lnn_baseline`).
+  virtual std::string name() const = 0;
+
+  /// One-line human description for `--list-engines` style output.
+  virtual std::string description() const = 0;
+
+  /// Smallest engine-feasible size >= n (sycamore/lattice round up to a
+  /// square, heavy_hex to a multiple of five).
+  virtual std::int32_t native_size(std::int32_t n) const { return n; }
+
+  /// Native coupling graph for a *native* size n.
+  virtual CouplingGraph build_graph(std::int32_t n,
+                                    const MapOptions& opts) const = 0;
+
+  /// Latency model depth is charged under on this backend. The returned
+  /// callable may reference `g`; the graph must outlive it.
+  virtual LatencyFn latency(const CouplingGraph& g) const {
+    (void)g;
+    return unit_latency;
+  }
+
+  /// Maps QFT(n) onto `g` (n native, g = build_graph(n, opts)). Throws on
+  /// engine failure (e.g. SATMAP exhausting its time budget).
+  virtual MappedCircuit map(std::int32_t n, const CouplingGraph& g,
+                            const MapOptions& opts) const = 0;
+};
+
+/// String-keyed engine registry plus the run loop (map → check → package).
+class MapperPipeline {
+ public:
+  /// The seven paper engines (four structured mappers + three baselines)
+  /// plus the Appendix-7 `grid` target.
+  static MapperPipeline with_paper_engines();
+
+  /// Shared default instance used by the free `map_qft`.
+  static const MapperPipeline& global();
+
+  /// Registers (or replaces, by name) an engine.
+  void register_engine(std::unique_ptr<const MapperEngine> engine);
+
+  /// Registered keys, sorted.
+  std::vector<std::string> engine_names() const;
+
+  bool has(const std::string& name) const;
+
+  /// Null when `name` is not registered.
+  const MapperEngine* find(const std::string& name) const;
+
+  /// Throws std::invalid_argument naming the known engines when absent.
+  const MapperEngine& at(const std::string& name) const;
+
+  /// Full pipeline: snap size, build graph, map, verify, time each stage.
+  MapResult run(const std::string& engine, std::int32_t n,
+                const MapOptions& opts = {}) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<const MapperEngine>> engines_;
+};
+
+/// Facade over MapperPipeline::global().
+MapResult map_qft(const std::string& arch, std::int32_t n,
+                  const MapOptions& opts = {});
+
+}  // namespace qfto

@@ -1,0 +1,267 @@
+// MapperPipeline facade: registry contents, checker-clean sweeps per engine
+// on the native coupling graph, size snapping, option forwarding, the
+// routed-baseline target override, and clean failure on unknown engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "arch/heavy_hex.hpp"
+#include "arch/sycamore.hpp"
+#include "circuit/qft_spec.hpp"
+#include "circuit/stats.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/mapper_pipeline.hpp"
+
+namespace qfto {
+namespace {
+
+// ---------------------------------------------------------------- registry --
+
+TEST(PipelineRegistry, ListsAllSevenPaperEngines) {
+  const auto names = MapperPipeline::global().engine_names();
+  for (const char* required : {"lnn", "heavy_hex", "sycamore", "lattice",
+                               "sabre", "satmap", "lnn_baseline"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing engine: " << required;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PipelineRegistry, EveryEngineDescribesItself) {
+  const auto& pipeline = MapperPipeline::global();
+  for (const auto& name : pipeline.engine_names()) {
+    EXPECT_TRUE(pipeline.has(name));
+    EXPECT_NE(pipeline.find(name), nullptr);
+    EXPECT_EQ(pipeline.at(name).name(), name);
+    EXPECT_FALSE(pipeline.at(name).description().empty()) << name;
+  }
+}
+
+TEST(PipelineRegistry, UnknownEngineFailsCleanly) {
+  const auto& pipeline = MapperPipeline::global();
+  EXPECT_FALSE(pipeline.has("nosuch"));
+  EXPECT_EQ(pipeline.find("nosuch"), nullptr);
+  EXPECT_THROW(pipeline.at("nosuch"), std::invalid_argument);
+  EXPECT_THROW(pipeline.run("nosuch", 4), std::invalid_argument);
+  EXPECT_THROW(map_qft("", 4), std::invalid_argument);
+  try {
+    map_qft("nosuch", 4);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error message must name the known engines so CLIs can relay it.
+    EXPECT_NE(std::string(e.what()).find("lnn"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sycamore"), std::string::npos);
+  }
+}
+
+TEST(PipelineRegistry, CustomEngineCanBeRegisteredAndRun) {
+  class EchoLnn final : public MapperEngine {
+   public:
+    std::string name() const override { return "echo_lnn"; }
+    std::string description() const override { return "lnn under a new key"; }
+    CouplingGraph build_graph(std::int32_t n,
+                              const MapOptions&) const override {
+      CouplingGraph g("echo-line", n);
+      for (std::int32_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+      return g;
+    }
+    MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                      const MapOptions&) const override {
+      return map_qft_lnn(n);
+    }
+  };
+  MapperPipeline pipeline = MapperPipeline::with_paper_engines();
+  pipeline.register_engine(std::make_unique<EchoLnn>());
+  ASSERT_TRUE(pipeline.has("echo_lnn"));
+  const MapResult r = pipeline.run("echo_lnn", 8);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+  EXPECT_EQ(r.check.counts.cphase, qft_pair_count(8));
+}
+
+// ------------------------------------------------- per-engine checker sweep --
+
+struct SweepCase {
+  const char* engine;
+  std::vector<std::int32_t> sizes;  // requested sizes (snapping exercised)
+};
+
+class EngineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EngineSweep, CheckerCleanOnNativeGraph) {
+  const SweepCase& c = GetParam();
+  MapOptions opts;
+  opts.sabre.trials = 1;                   // keep the heuristic sweep fast
+  opts.satmap.time_budget_seconds = 60.0;  // tiny instances only
+  for (const std::int32_t n : c.sizes) {
+    const MapResult r = map_qft(c.engine, n, opts);
+    ASSERT_TRUE(r.check.ok)
+        << c.engine << " n=" << n << ": " << r.check.error;
+    EXPECT_EQ(r.engine, c.engine);
+    EXPECT_EQ(r.requested_n, n);
+    EXPECT_GE(r.n, n) << "native size must not shrink the request";
+    EXPECT_EQ(r.mapped.num_logical(), r.n);
+    EXPECT_EQ(r.check.counts.cphase, qft_pair_count(r.n));
+    EXPECT_EQ(r.check.counts.h, r.n);
+    EXPECT_GE(r.graph.num_qubits(), r.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineSweep,
+    ::testing::Values(
+        SweepCase{"lnn", {1, 2, 3, 5, 8, 16, 33}},
+        SweepCase{"heavy_hex", {5, 10, 12, 20, 50}},
+        SweepCase{"sycamore", {4, 9, 16, 36, 64}},
+        SweepCase{"lattice", {4, 9, 10, 25, 64}},
+        SweepCase{"grid", {4, 9, 25, 49}},
+        SweepCase{"lnn_baseline", {4, 9, 25, 49}},
+        SweepCase{"sabre", {4, 9, 16}},
+        SweepCase{"satmap", {3, 4}}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.engine);
+    });
+
+// --------------------------------------------------- size snapping details --
+
+TEST(PipelineSnapping, SycamoreRoundsUpToEvenSquare) {
+  const MapResult r = map_qft("sycamore", 30, MapOptions{});
+  EXPECT_EQ(r.n, 36);  // m=6 (m=5.48 rounded up, then made even)
+  EXPECT_EQ(r.graph.num_qubits(), 36);
+  EXPECT_TRUE(r.check.ok) << r.check.error;
+}
+
+TEST(PipelineSnapping, HeavyHexRoundsUpToMultipleOfFive) {
+  EXPECT_EQ(map_qft("heavy_hex", 11).n, 15);
+  EXPECT_EQ(map_qft("heavy_hex", 3).n, 5);
+}
+
+TEST(PipelineSnapping, LatticeRoundsUpToSquare) {
+  EXPECT_EQ(map_qft("lattice", 10).n, 16);
+  EXPECT_EQ(map_qft("lnn_baseline", 2).n, 4);
+}
+
+TEST(PipelineSnapping, ExactNativeSizesAreKept) {
+  EXPECT_EQ(map_qft("lnn", 7).n, 7);
+  EXPECT_EQ(map_qft("sycamore", 16).n, 16);
+  EXPECT_EQ(map_qft("heavy_hex", 20).n, 20);
+}
+
+// ------------------------------------------------------- option forwarding --
+
+TEST(PipelineOptions, StrictIeCostsDepthOnSycamore) {
+  MapOptions strict;
+  strict.strict_ie = true;
+  const MapResult relaxed = map_qft("sycamore", 36);
+  const MapResult strict_r = map_qft("sycamore", 36, strict);
+  ASSERT_TRUE(relaxed.check.ok && strict_r.check.ok);
+  EXPECT_GT(strict_r.check.depth, relaxed.check.depth);
+}
+
+TEST(PipelineOptions, TargetOverrideRoutesSabreOnDeviceGraph) {
+  const CouplingGraph g = make_sycamore(4);
+  MapOptions opts;
+  opts.sabre.trials = 1;
+  opts.target = &g;
+  const MapResult r = map_qft("sabre", 16, opts);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+  EXPECT_EQ(r.graph.name(), g.name());
+  EXPECT_EQ(r.graph.num_qubits(), 16);
+}
+
+TEST(PipelineOptions, TargetSmallerThanCircuitIsRejected) {
+  const CouplingGraph g = make_sycamore(2);  // 4 qubits
+  MapOptions opts;
+  opts.target = &g;
+  EXPECT_THROW(map_qft("sabre", 9, opts), std::invalid_argument);
+}
+
+TEST(PipelineOptions, VerifyOffSkipsTheChecker) {
+  MapOptions opts;
+  opts.verify = false;
+  const MapResult r = map_qft("lnn", 12, opts);
+  EXPECT_FALSE(r.check.ok);  // untouched default
+  EXPECT_TRUE(r.check.error.empty());
+  EXPECT_EQ(r.timings.check_seconds, 0.0);
+  EXPECT_EQ(r.mapped.num_logical(), 12);
+}
+
+TEST(PipelineOptions, SatmapBudgetExhaustionThrowsRuntimeError) {
+  MapOptions opts;
+  opts.satmap.time_budget_seconds = 1e-6;  // certain TLE
+  EXPECT_THROW(map_qft("satmap", 8, opts), std::runtime_error);
+}
+
+// ------------------------------------------------------- batch front-end --
+
+TEST(PipelineBatch, ResultsComeBackInRequestOrder) {
+  std::vector<BatchRequest> reqs;
+  for (const char* engine : {"lnn", "heavy_hex", "sycamore", "lattice"}) {
+    reqs.push_back({engine, 16, MapOptions{}});
+  }
+  const auto items = map_qft_batch(reqs, 4);
+  ASSERT_EQ(items.size(), reqs.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(items[i].ok) << reqs[i].engine << ": " << items[i].error;
+    EXPECT_EQ(items[i].result.engine, reqs[i].engine);
+    EXPECT_TRUE(items[i].result.check.ok) << items[i].result.check.error;
+  }
+}
+
+TEST(PipelineBatch, ParallelMatchesSerialForAnalyticalEngines) {
+  std::vector<BatchRequest> reqs;
+  for (std::int32_t n : {4, 9, 16, 25, 36}) {
+    reqs.push_back({"lattice", n, MapOptions{}});
+  }
+  const auto serial = map_qft_batch(reqs, 1);
+  const auto parallel = map_qft_batch(reqs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok && parallel[i].ok);
+    EXPECT_EQ(serial[i].result.mapped.circuit.to_string(),
+              parallel[i].result.mapped.circuit.to_string());
+  }
+}
+
+TEST(PipelineBatch, PerItemFailuresDoNotAbortTheBatch) {
+  MapOptions tle;
+  tle.satmap.time_budget_seconds = 1e-6;
+  const std::vector<BatchRequest> reqs = {
+      {"lnn", 8, MapOptions{}},
+      {"nosuch", 8, MapOptions{}},
+      {"satmap", 8, tle},
+      {"sycamore", 4, MapOptions{}},
+  };
+  const auto items = map_qft_batch(reqs, 2);
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_TRUE(items[0].ok);
+  EXPECT_FALSE(items[1].ok);
+  EXPECT_NE(items[1].error.find("unknown engine"), std::string::npos);
+  EXPECT_FALSE(items[2].ok);
+  EXPECT_NE(items[2].error.find("satmap"), std::string::npos);
+  EXPECT_TRUE(items[3].ok);
+}
+
+TEST(PipelineBatch, EmptyBatchIsFine) {
+  EXPECT_TRUE(map_qft_batch({}).empty());
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(PipelineDeterminism, StructuredEnginesAreSeedFree) {
+  // Analytical mappers must emit byte-identical circuits run to run — the
+  // consistency guarantee the paper contrasts with SABRE (Fig. 27).
+  for (const char* engine : {"lnn", "heavy_hex", "sycamore", "lattice"}) {
+    const MapResult a = map_qft(engine, 16);
+    const MapResult b = map_qft(engine, 16);
+    EXPECT_EQ(a.mapped.circuit.to_string(), b.mapped.circuit.to_string())
+        << engine;
+    EXPECT_EQ(a.mapped.initial, b.mapped.initial) << engine;
+    EXPECT_EQ(a.mapped.final_mapping, b.mapped.final_mapping) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace qfto

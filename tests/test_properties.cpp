@@ -12,6 +12,7 @@
 #include "mapper/heavy_hex_mapper.hpp"
 #include "mapper/qft_state.hpp"
 #include "mapper/sycamore_mapper.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "verify/equivalence.hpp"
 #include "verify/qft_checker.hpp"
 
@@ -158,6 +159,36 @@ TEST(CrossValidation, SnakePathOnGridMatchesLnnLaw) {
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_LE(r.depth, 4 * 16 + 8);
 }
+
+// ------------------------------- cross-engine unitary equivalence ----------
+
+// For every registered engine and small n, the mapped hardware circuit must
+// be unitarily equivalent to the reference QFT — checked by simulation via
+// verify/equivalence.hpp, independently of the static checker's reasoning.
+class EngineEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineEquivalence, SmallSizesMatchReferenceQft) {
+  const std::string engine = GetParam();
+  MapOptions opts;
+  opts.sabre.trials = 2;
+  opts.satmap.time_budget_seconds = 60.0;
+  // SATMAP's search space explodes with size (Table 1); stay tiny there.
+  const std::int32_t max_n = engine == "satmap" ? 4 : 6;
+  for (std::int32_t n = 2; n <= max_n; ++n) {
+    const MapResult r = map_qft(engine, n, opts);
+    ASSERT_TRUE(r.check.ok) << engine << " n=" << n << ": " << r.check.error;
+    EXPECT_LT(mapped_equivalence_error(r.mapped), 1e-9)
+        << engine << " requested n=" << n << " native n=" << r.n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineEquivalence,
+    ::testing::Values("lnn", "heavy_hex", "sycamore", "lattice", "grid",
+                      "lnn_baseline", "sabre", "satmap"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
 
 // -------------------------------------------------- QftState algebra -------
 
