@@ -2,48 +2,110 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 namespace qfto {
 
 CouplingGraph::CouplingGraph(std::string name, std::int32_t num_qubits)
-    : name_(std::move(name)), num_qubits_(num_qubits), adj_(num_qubits) {
+    : name_(std::move(name)),
+      num_qubits_(num_qubits),
+      adj_(num_qubits),
+      rows_(num_qubits) {
   require(num_qubits >= 0, "CouplingGraph: negative qubit count");
 }
 
-std::int64_t CouplingGraph::pack(PhysicalQubit a, PhysicalQubit b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<std::int64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+void CouplingGraph::copy_from(const CouplingGraph& other) {
+  name_ = other.name_;
+  num_qubits_ = other.num_qubits_;
+  num_edges_ = other.num_edges_;
+  adj_ = other.adj_;
+  rows_ = other.rows_;
+  // Snapshot the lazy caches under the source's guards so copying a graph
+  // that another thread is lazily initializing stays race-free.
+  {
+    std::lock_guard<std::mutex> lock(other.csr_mutex_);
+    csr_offset_ = other.csr_offset_;
+    csr_ = other.csr_;
+    csr_ready_.store(other.csr_ready_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(other.dist_mutex_);
+  dist_ = other.dist_;
+  dist_ready_.store(other.dist_ready_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+}
+
+CouplingGraph::CouplingGraph(const CouplingGraph& other) { copy_from(other); }
+
+CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+CouplingGraph::CouplingGraph(CouplingGraph&& other) noexcept {
+  *this = std::move(other);
+}
+
+CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    num_qubits_ = other.num_qubits_;
+    num_edges_ = other.num_edges_;
+    adj_ = std::move(other.adj_);
+    rows_ = std::move(other.rows_);
+    {
+      std::lock_guard<std::mutex> lock(other.csr_mutex_);
+      csr_offset_ = std::move(other.csr_offset_);
+      csr_ = std::move(other.csr_);
+      csr_ready_.store(other.csr_ready_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+      other.csr_ready_.store(false, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(other.dist_mutex_);
+    dist_ = std::move(other.dist_);
+    dist_ready_.store(other.dist_ready_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    other.dist_ready_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void CouplingGraph::build_csr() const {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_ready_.load(std::memory_order_relaxed)) return;
+  csr_offset_.assign(static_cast<std::size_t>(num_qubits_) + 1, 0);
+  for (PhysicalQubit q = 0; q < num_qubits_; ++q) {
+    csr_offset_[q + 1] =
+        csr_offset_[q] + static_cast<std::int32_t>(rows_[q].size());
+  }
+  csr_.clear();
+  csr_.reserve(static_cast<std::size_t>(csr_offset_[num_qubits_]));
+  for (PhysicalQubit q = 0; q < num_qubits_; ++q) {
+    csr_.insert(csr_.end(), rows_[q].begin(), rows_[q].end());
+    // Sorted rows keep the probe deterministic and cache-friendly.
+    std::sort(csr_.begin() + csr_offset_[q], csr_.begin() + csr_offset_[q + 1],
+              [](const CsrEntry& x, const CsrEntry& y) { return x.nbr < y.nbr; });
+  }
+  csr_ready_.store(true, std::memory_order_release);
 }
 
 void CouplingGraph::add_edge(PhysicalQubit a, PhysicalQubit b, LinkType type) {
   require(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
           "CouplingGraph::add_edge: bad endpoints");
-  require(!adjacent(a, b), "CouplingGraph::add_edge: duplicate edge");
+  // Duplicate check against the build-time row (degree-bounded) rather than
+  // the public adjacent(), so building E edges never re-finalizes the CSR.
+  for (const CsrEntry& e : rows_[a]) {
+    require(e.nbr != b, "CouplingGraph::add_edge: duplicate edge");
+  }
   adj_[a].push_back(b);
   adj_[b].push_back(a);
-  const auto key = pack(a, b);
-  auto it = std::lower_bound(
-      edge_types_.begin(), edge_types_.end(), key,
-      [](const auto& e, std::int64_t k) { return e.first < k; });
-  edge_types_.insert(it, {key, type});
+  rows_[a].push_back(CsrEntry{b, type});
+  rows_[b].push_back(CsrEntry{a, type});
   ++num_edges_;
-  dist_.clear();  // invalidate cache
-}
-
-bool CouplingGraph::adjacent(PhysicalQubit a, PhysicalQubit b) const {
-  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_) return false;
-  const auto& na = adj_[a];
-  return std::find(na.begin(), na.end(), b) != na.end();
-}
-
-std::optional<LinkType> CouplingGraph::link_type(PhysicalQubit a,
-                                                 PhysicalQubit b) const {
-  const auto key = pack(a, b);
-  auto it = std::lower_bound(
-      edge_types_.begin(), edge_types_.end(), key,
-      [](const auto& e, std::int64_t k) { return e.first < k; });
-  if (it == edge_types_.end() || it->first != key) return std::nullopt;
-  return it->second;
+  // Invalidate the lazy caches (mutation is not concurrent-safe by contract).
+  dist_.clear();
+  dist_ready_.store(false, std::memory_order_release);
+  csr_ready_.store(false, std::memory_order_release);
 }
 
 const std::vector<PhysicalQubit>& CouplingGraph::neighbors(
@@ -53,22 +115,29 @@ const std::vector<PhysicalQubit>& CouplingGraph::neighbors(
 
 const std::vector<std::vector<std::int32_t>>& CouplingGraph::distance_matrix()
     const {
-  if (!dist_.empty()) return dist_;
-  dist_.assign(num_qubits_, std::vector<std::int32_t>(num_qubits_, -1));
-  for (PhysicalQubit s = 0; s < num_qubits_; ++s) {
-    auto& d = dist_[s];
-    d[s] = 0;
-    std::queue<PhysicalQubit> bfs;
-    bfs.push(s);
-    while (!bfs.empty()) {
-      const PhysicalQubit u = bfs.front();
-      bfs.pop();
-      for (PhysicalQubit v : adj_[u]) {
-        if (d[v] < 0) {
-          d[v] = d[u] + 1;
-          bfs.push(v);
+  // Double-checked lazy init: map_qft_batch maps on a shared graph from a
+  // thread pool, so first use must not race.
+  if (!dist_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(dist_mutex_);
+    if (!dist_ready_.load(std::memory_order_relaxed)) {
+      dist_.assign(num_qubits_, std::vector<std::int32_t>(num_qubits_, -1));
+      for (PhysicalQubit s = 0; s < num_qubits_; ++s) {
+        auto& d = dist_[s];
+        d[s] = 0;
+        std::queue<PhysicalQubit> bfs;
+        bfs.push(s);
+        while (!bfs.empty()) {
+          const PhysicalQubit u = bfs.front();
+          bfs.pop();
+          for (PhysicalQubit v : adj_[u]) {
+            if (d[v] < 0) {
+              d[v] = d[u] + 1;
+              bfs.push(v);
+            }
+          }
         }
       }
+      dist_ready_.store(true, std::memory_order_release);
     }
   }
   return dist_;

@@ -1,9 +1,19 @@
 // Hardware coupling graphs. Nodes are physical qubits; edges are the links on
 // which two-qubit gates may execute. Lattice surgery additionally tags each
 // link with a type, because SWAP latency is heterogeneous there (§2.3).
+//
+// Layout: neighbor lists (insertion-ordered, for BFS and router candidate
+// enumeration) plus a flat CSR — row offsets into one contiguous array of
+// (neighbor, link type) entries, sorted per row — in the spirit of
+// CryptoMiniSat's flat watch lists. `adjacent` and `link_type` are the
+// verifier/scheduler hot path (one query per two-qubit gate): a row-offset
+// load and a degree-bounded scan of one cache line, O(max_degree) = O(1) for
+// the bounded-degree device graphs this repo targets, no allocation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,29 +28,73 @@ enum class LinkType : std::uint8_t {
   kCnotOnly,  // lattice surgery: axial tiles, SWAP = 3 CNOTs = depth 6
 };
 
+/// Number of LinkType enumerators (latency tables index on it).
+inline constexpr std::size_t kLinkTypeCount = 3;
+static_assert(
+    static_cast<std::size_t>(LinkType::kCnotOnly) + 1 == kLinkTypeCount,
+    "update kLinkTypeCount when extending LinkType");
+
 class CouplingGraph {
  public:
   CouplingGraph() = default;
   CouplingGraph(std::string name, std::int32_t num_qubits);
 
+  // The lazy distance cache carries a mutex/flag guard (see
+  // distance_matrix()), so the copy/move family is user-defined: graph data
+  // is copied, guards are fresh per object.
+  CouplingGraph(const CouplingGraph& other);
+  CouplingGraph& operator=(const CouplingGraph& other);
+  CouplingGraph(CouplingGraph&& other) noexcept;
+  CouplingGraph& operator=(CouplingGraph&& other) noexcept;
+  ~CouplingGraph() = default;
+
   const std::string& name() const { return name_; }
   std::int32_t num_qubits() const { return num_qubits_; }
 
-  /// Adds an undirected edge; duplicate edges are rejected.
+  /// Adds an undirected edge; duplicate edges are rejected. Not safe against
+  /// concurrent queries — build the graph fully before sharing it.
   void add_edge(PhysicalQubit a, PhysicalQubit b,
                 LinkType type = LinkType::kStandard);
 
-  bool adjacent(PhysicalQubit a, PhysicalQubit b) const;
+  /// Degree-bounded CSR row scan.
+  bool adjacent(PhysicalQubit a, PhysicalQubit b) const {
+    if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_ || a == b) {
+      return false;
+    }
+    ensure_csr();
+    const std::int32_t end = csr_offset_[a + 1];
+    for (std::int32_t i = csr_offset_[a]; i < end; ++i) {
+      if (csr_[i].nbr == b) return true;
+    }
+    return false;
+  }
 
-  /// Link type of edge (a,b); nullopt when not adjacent.
-  std::optional<LinkType> link_type(PhysicalQubit a, PhysicalQubit b) const;
+  /// Link type of edge (a,b); nullopt when not adjacent. The type sits
+  /// inline in the CSR entry, so the same row scan answers both questions.
+  std::optional<LinkType> link_type(PhysicalQubit a, PhysicalQubit b) const {
+    if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_ || a == b) {
+      return std::nullopt;
+    }
+    ensure_csr();
+    const std::int32_t end = csr_offset_[a + 1];
+    for (std::int32_t i = csr_offset_[a]; i < end; ++i) {
+      if (csr_[i].nbr == b) return csr_[i].type;
+    }
+    return std::nullopt;
+  }
 
   const std::vector<PhysicalQubit>& neighbors(PhysicalQubit q) const;
+
+  std::int32_t degree(PhysicalQubit q) const {
+    return static_cast<std::int32_t>(adj_[q].size());
+  }
 
   std::int64_t num_edges() const { return num_edges_; }
 
   /// All-pairs hop distances (unweighted BFS). Computed on first use and
-  /// cached; SABRE's heuristic consumes this.
+  /// cached; SABRE's heuristic consumes this. First use is guarded
+  /// (double-checked flag + mutex), so concurrent readers — e.g.
+  /// map_qft_batch workers sharing one target graph — are safe.
   const std::vector<std::vector<std::int32_t>>& distance_matrix() const;
 
   std::int32_t distance(PhysicalQubit a, PhysicalQubit b) const;
@@ -49,15 +103,39 @@ class CouplingGraph {
   bool connected() const;
 
  private:
+  struct CsrEntry {
+    PhysicalQubit nbr;
+    LinkType type;
+  };
+
+  /// Finalizes the flat CSR from the build-time rows on first query after a
+  /// mutation; amortized so add_edge stays O(degree) and graph construction
+  /// stays linear in edges.
+  void ensure_csr() const {
+    if (!csr_ready_.load(std::memory_order_acquire)) build_csr();
+  }
+  void build_csr() const;
+  void copy_from(const CouplingGraph& other);
+
   std::string name_;
   std::int32_t num_qubits_ = 0;
   std::int64_t num_edges_ = 0;
   std::vector<std::vector<PhysicalQubit>> adj_;
-  // Edge types keyed by packed (min,max) pair.
-  std::vector<std::pair<std::int64_t, LinkType>> edge_types_;  // sorted
-  mutable std::vector<std::vector<std::int32_t>> dist_;        // lazy
+  // Build-time adjacency with inline link types; appended by add_edge.
+  std::vector<std::vector<CsrEntry>> rows_;
+  // Flat CSR finalized from rows_ (sorted per row): row q is
+  // csr_[csr_offset_[q] .. csr_offset_[q+1]). Lazily built under the same
+  // double-checked guard pattern as the distance cache.
+  mutable std::vector<std::int32_t> csr_offset_;  // num_qubits + 1
+  mutable std::vector<CsrEntry> csr_;             // 2 * num_edges
+  mutable std::atomic<bool> csr_ready_{false};
+  mutable std::mutex csr_mutex_;
 
-  static std::int64_t pack(PhysicalQubit a, PhysicalQubit b);
+  // Lazily computed distance cache, published with release/acquire so that
+  // first use from a thread pool is race-free.
+  mutable std::vector<std::vector<std::int32_t>> dist_;
+  mutable std::atomic<bool> dist_ready_{false};
+  mutable std::mutex dist_mutex_;
 };
 
 }  // namespace qfto

@@ -2,26 +2,20 @@
 
 namespace qfto {
 
-LatencyFn nisq_latency() {
-  return [](const Gate&) -> Cycle { return 1; };
+LatencyModel LatencyModel::lattice(const CouplingGraph& g) {
+  LatencyModel m;
+  m.bind(g);
+  m.set_cost(GateKind::kCnot, kLsCnotDepth);
+  m.set_cost(GateKind::kCPhase, kLsCphaseDepth);
+  m.set_cost(GateKind::kSwap, kLsSlowSwapDepth);
+  m.set_cost(GateKind::kSwap, LinkType::kFast, kLsFastSwapDepth);
+  return m;
 }
 
+LatencyFn nisq_latency() { return LatencyFn(LatencyModel::nisq()); }
+
 LatencyFn lattice_latency(const CouplingGraph& g) {
-  return [&g](const Gate& gate) -> Cycle {
-    if (!gate.two_qubit()) return 1;
-    const auto type = g.link_type(gate.q0, gate.q1);
-    const bool fast = type.has_value() && *type == LinkType::kFast;
-    switch (gate.kind) {
-      case GateKind::kSwap:
-        return fast ? kLsFastSwapDepth : kLsSlowSwapDepth;
-      case GateKind::kCnot:
-        return kLsCnotDepth;
-      case GateKind::kCPhase:
-        return kLsCphaseDepth;
-      default:
-        return 1;
-    }
-  };
+  return LatencyFn(LatencyModel::lattice(g));
 }
 
 }  // namespace qfto

@@ -5,20 +5,6 @@
 
 namespace qfto {
 
-bool is_two_qubit(GateKind kind) {
-  switch (kind) {
-    case GateKind::kCPhase:
-    case GateKind::kSwap:
-    case GateKind::kCnot:
-      return true;
-    case GateKind::kH:
-    case GateKind::kX:
-    case GateKind::kRz:
-      return false;
-  }
-  return false;
-}
-
 std::string gate_name(GateKind kind) {
   switch (kind) {
     case GateKind::kH: return "H";

@@ -2,6 +2,7 @@
 // H, CPHASE (controlled phase), SWAP, CNOT, plus X/RZ for the example apps.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hpp"
@@ -17,8 +18,17 @@ enum class GateKind : std::uint8_t {
   kCnot,    // CNOT, q0 = control, q1 = target
 };
 
-/// Returns true for two-qubit kinds.
-bool is_two_qubit(GateKind kind);
+/// Number of GateKind enumerators (latency tables index on it).
+inline constexpr std::size_t kGateKindCount = 6;
+static_assert(static_cast<std::size_t>(GateKind::kCnot) + 1 == kGateKindCount,
+              "update kGateKindCount when extending GateKind");
+
+/// Returns true for two-qubit kinds. Inline: the scheduler and verifier ask
+/// once per gate.
+inline bool is_two_qubit(GateKind kind) {
+  return kind == GateKind::kCPhase || kind == GateKind::kSwap ||
+         kind == GateKind::kCnot;
+}
 
 /// Human-readable mnemonic ("H", "CP", "SWAP", ...).
 std::string gate_name(GateKind kind);

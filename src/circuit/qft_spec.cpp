@@ -7,8 +7,9 @@ namespace qfto {
 double qft_angle(LogicalQubit i, LogicalQubit j) {
   require(i < j, "qft_angle: expects i < j");
   // R_k in the textbook circuit applies phase 2*pi/2^k with k = j - i + 1,
-  // i.e. pi / 2^{j-i}.
-  return M_PI / std::pow(2.0, static_cast<double>(j - i));
+  // i.e. pi / 2^{j-i}. ldexp scales the exponent directly — bit-identical to
+  // dividing by pow(2, j-i), without the libm call per gate.
+  return std::ldexp(M_PI, -(j - i));
 }
 
 Circuit qft_logical(std::int32_t n) {

@@ -1,38 +1,36 @@
 #include "circuit/scheduler.hpp"
 
-#include <algorithm>
-#include <map>
-
 namespace qfto {
 
 Cycle unit_latency(const Gate&) { return 1; }
 
 std::vector<std::vector<std::int32_t>> Schedule::layers() const {
-  std::map<Cycle, std::vector<std::int32_t>> by_start;
+  if (start.empty()) return {};
+  // Start cycles are bounded by the makespan, so a bucket fill replaces the
+  // former std::map: no comparisons, no per-node allocations. Size by the
+  // max start actually present — hand-filled Schedules may carry starts past
+  // their depth field (or a huge depth with small starts), and trailing
+  // empty buckets are dropped anyway.
+  Cycle last = 0;
+  for (const Cycle s : start) {
+    require(s >= 0, "Schedule::layers: negative start cycle");
+    last = std::max(last, s);
+  }
+  std::vector<std::vector<std::int32_t>> buckets(
+      static_cast<std::size_t>(last) + 1);
   for (std::size_t i = 0; i < start.size(); ++i) {
-    by_start[start[i]].push_back(static_cast<std::int32_t>(i));
+    buckets[static_cast<std::size_t>(start[i])].push_back(
+        static_cast<std::int32_t>(i));
   }
   std::vector<std::vector<std::int32_t>> out;
-  out.reserve(by_start.size());
-  for (auto& [cycle, gates] : by_start) out.push_back(std::move(gates));
+  for (auto& gates : buckets) {
+    if (!gates.empty()) out.push_back(std::move(gates));
+  }
   return out;
 }
 
 Schedule schedule_asap(const Circuit& c, const LatencyFn& latency) {
-  Schedule s;
-  s.start.resize(c.size(), 0);
-  std::vector<Cycle> ready(c.num_qubits(), 0);
-  for (std::size_t i = 0; i < c.size(); ++i) {
-    const Gate& g = c[i];
-    Cycle t = ready[g.q0];
-    if (g.two_qubit()) t = std::max(t, ready[g.q1]);
-    const Cycle dur = latency(g);
-    s.start[i] = t;
-    ready[g.q0] = t + dur;
-    if (g.two_qubit()) ready[g.q1] = t + dur;
-    s.depth = std::max(s.depth, t + dur);
-  }
-  return s;
+  return schedule_asap_with(c, latency);
 }
 
 Cycle circuit_depth(const Circuit& c, const LatencyFn& latency) {

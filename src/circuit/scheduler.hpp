@@ -7,8 +7,14 @@
 // a per-gate latency callback and computes the makespan over wires, honouring
 // the gate-list order per wire (our emitters produce dependency-ordered
 // lists, so per-wire ASAP equals DAG ASAP).
+//
+// The core loop is a template over the latency callable: concrete models
+// (arch/latency_model.hpp's LatencyModel) inline straight into it with no
+// std::function hop, which is what the hot verify/schedule path uses. The
+// LatencyFn overloads remain for ad-hoc callers.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -31,6 +37,26 @@ struct Schedule {
   /// disjoint on wires only under unit latency — used for layer dumps.
   std::vector<std::vector<std::int32_t>> layers() const;
 };
+
+/// ASAP core, generic over the latency callable so concrete models are
+/// devirtualized at the call site.
+template <typename Latency>
+Schedule schedule_asap_with(const Circuit& c, Latency&& latency) {
+  Schedule s;
+  s.start.resize(c.size(), 0);
+  std::vector<Cycle> ready(c.num_qubits(), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c[i];
+    Cycle t = ready[g.q0];
+    if (g.two_qubit()) t = std::max(t, ready[g.q1]);
+    const Cycle dur = latency(g);
+    s.start[i] = t;
+    ready[g.q0] = t + dur;
+    if (g.two_qubit()) ready[g.q1] = t + dur;
+    s.depth = std::max(s.depth, t + dur);
+  }
+  return s;
+}
 
 Schedule schedule_asap(const Circuit& c, const LatencyFn& latency);
 

@@ -20,7 +20,13 @@ using Cycle = std::int64_t;
 inline constexpr LogicalQubit kInvalidQubit = -1;
 
 /// Throwing assert used for API-contract violations; active in all builds so
-/// that the verification layers can rely on it in release benchmarks.
+/// that the verification layers can rely on it in release benchmarks. The
+/// const char* overload keeps literal-message call sites allocation-free on
+/// the success path (hot loops call require per gate).
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }

@@ -94,8 +94,8 @@ class LatticeEngine final : public MapperEngine {
   CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
     return make_lattice_surgery_rotated(grid_side(n, 2));
   }
-  LatencyFn latency(const CouplingGraph& g) const override {
-    return lattice_latency(g);
+  LatencyModel latency_model(const CouplingGraph& g) const override {
+    return LatencyModel::lattice(g);
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph&,
                     const MapOptions& opts) const override {
@@ -146,10 +146,10 @@ class LnnBaselineEngine final : public MapperEngine {
   CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
     return make_lattice_surgery_full(grid_side(n, 2));
   }
-  LatencyFn latency(const CouplingGraph& g) const override {
+  LatencyModel latency_model(const CouplingGraph& g) const override {
     // The snake rides the axial links; charging the §2.3 weighted model is
     // exactly the comparison the paper makes against this baseline.
-    return lattice_latency(g);
+    return LatencyModel::lattice(g);
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph& g,
                     const MapOptions&) const override {

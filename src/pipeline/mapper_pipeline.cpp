@@ -65,8 +65,15 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
 
   if (opts.verify) {
     timer.reset();
-    const LatencyFn latency = engine.latency(result.graph);
-    result.check = check_qft_mapping(result.mapped, result.graph, latency);
+    const LatencyModel latency = engine.latency_model(result.graph);
+    // Streaming path: one fused pass (adjacency/ordering/angle checks, ASAP
+    // depth, gate counts) through IncrementalQftChecker. The replay path is
+    // the pre-rewrite algorithm, kept selectable for differential testing.
+    result.check =
+        opts.incremental_verify
+            ? check_qft_mapping(result.mapped, result.graph, latency)
+            : check_qft_mapping_replay(result.mapped, result.graph,
+                                       LatencyFn(latency));
     result.timings.check_seconds = timer.seconds();
   }
   return result;

@@ -47,6 +47,13 @@ struct MapOptions {
   /// Run the static checker and fill MapResult::check. On by default; turn
   /// off only for timing-only runs where verification is done elsewhere.
   bool verify = true;
+
+  /// Verify by streaming the emitted gates through IncrementalQftChecker —
+  /// one fused pass computing checks, depth and counts together. Off falls
+  /// back to the legacy post-hoc replay (check_qft_mapping_replay): separate
+  /// check, schedule and count walks. Results are bit-identical; the flag
+  /// exists so the two paths stay comparable in tests and benchmarks.
+  bool incremental_verify = true;
 };
 
 struct MapTimings {
@@ -86,11 +93,18 @@ class MapperEngine {
   virtual CouplingGraph build_graph(std::int32_t n,
                                     const MapOptions& opts) const = 0;
 
-  /// Latency model depth is charged under on this backend. The returned
-  /// callable may reference `g`; the graph must outlive it.
-  virtual LatencyFn latency(const CouplingGraph& g) const {
+  /// Latency model depth is charged under on this backend. The model may
+  /// reference `g`; the graph must outlive it. This is what the pipeline's
+  /// verify/schedule hot path consumes (no std::function indirection).
+  virtual LatencyModel latency_model(const CouplingGraph& g) const {
     (void)g;
-    return unit_latency;
+    return LatencyModel::unit();
+  }
+
+  /// Convenience adapter for callers that want a callable; derived from
+  /// latency_model(), so engines only override that.
+  LatencyFn latency(const CouplingGraph& g) const {
+    return LatencyFn(latency_model(g));
   }
 
   /// Maps QFT(n) onto `g` (n native, g = build_graph(n, opts)). Throws on

@@ -16,15 +16,4 @@ MappingTracker::MappingTracker(
   }
 }
 
-void MappingTracker::apply_swap(PhysicalQubit a, PhysicalQubit b) {
-  require(a >= 0 && b >= 0 && a < num_physical() && b < num_physical() &&
-              a != b,
-          "MappingTracker::apply_swap: bad nodes");
-  const LogicalQubit la = p2l_[a], lb = p2l_[b];
-  p2l_[a] = lb;
-  p2l_[b] = la;
-  if (la != kInvalidQubit) l2p_[la] = b;
-  if (lb != kInvalidQubit) l2p_[lb] = a;
-}
-
 }  // namespace qfto

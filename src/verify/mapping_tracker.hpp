@@ -29,7 +29,17 @@ class MappingTracker {
   LogicalQubit logical_at(PhysicalQubit p) const { return p2l_[p]; }
 
   /// Exchanges the contents of two physical nodes (either may be empty).
-  void apply_swap(PhysicalQubit a, PhysicalQubit b);
+  /// Inline: the verifier calls this once per SWAP gate.
+  void apply_swap(PhysicalQubit a, PhysicalQubit b) {
+    require(a >= 0 && b >= 0 && a < num_physical() && b < num_physical() &&
+                a != b,
+            "MappingTracker::apply_swap: bad nodes");
+    const LogicalQubit la = p2l_[a], lb = p2l_[b];
+    p2l_[a] = lb;
+    p2l_[b] = la;
+    if (la != kInvalidQubit) l2p_[la] = b;
+    if (lb != kInvalidQubit) l2p_[lb] = a;
+  }
 
   const std::vector<PhysicalQubit>& logical_to_physical() const { return l2p_; }
 

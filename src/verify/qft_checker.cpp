@@ -1,7 +1,6 @@
 #include "verify/qft_checker.hpp"
 
 #include <cmath>
-#include <cstdio>
 
 #include "circuit/qft_spec.hpp"
 #include "circuit/scheduler.hpp"
@@ -11,32 +10,268 @@ namespace qfto {
 
 namespace {
 
-QftCheckResult fail(std::string msg) {
+QftCheckResult fail_result(std::string msg) {
   QftCheckResult r;
   r.ok = false;
   r.error = std::move(msg);
   return r;
 }
 
-std::string gate_ctx(std::size_t i, const Gate& g) {
+std::string gate_ctx(std::int64_t i, const Gate& g) {
   return "gate #" + std::to_string(i) + " " + g.to_string();
+}
+
+}  // namespace
+
+// ------------------------------------------------- IncrementalQftChecker --
+
+IncrementalQftChecker::IncrementalQftChecker(
+    const std::vector<PhysicalQubit>& initial, const CouplingGraph& g,
+    LatencyModel latency)
+    : graph_(&g),
+      model_(latency),
+      n_(static_cast<std::int32_t>(initial.size())),
+      num_physical_(g.num_qubits()),
+      p2l_(static_cast<std::size_t>(g.num_qubits()), kInvalidQubit),
+      h_seen_((static_cast<std::size_t>(n_) + 63) / 64, 0),
+      pair_seen_((static_cast<std::size_t>(qft_pair_count(n_)) + 63) / 64, 0),
+      ready_(static_cast<std::size_t>(g.num_qubits()), 0) {
+  require(n_ <= num_physical_,
+          "IncrementalQftChecker: more logical than physical qubits");
+  for (std::size_t l = 0; l < initial.size(); ++l) {
+    const PhysicalQubit p = initial[l];
+    require(p >= 0 && p < num_physical_,
+            "IncrementalQftChecker: mapping out of range");
+    require(p2l_[p] == kInvalidQubit,
+            "IncrementalQftChecker: mapping not injective");
+    p2l_[p] = static_cast<LogicalQubit>(l);
+  }
+  // Expected CPHASE angles depend only on the logical gap; resolving them
+  // once keeps qft_angle (and its libm scaling) out of the per-gate path.
+  angle_by_gap_.resize(static_cast<std::size_t>(n_ > 0 ? n_ : 1), 0.0);
+  for (std::int32_t gap = 1; gap < n_; ++gap) {
+    angle_by_gap_[static_cast<std::size_t>(gap)] = qft_angle(0, gap);
+  }
+}
+
+IncrementalQftChecker::IncrementalQftChecker(
+    const std::vector<PhysicalQubit>& initial, const CouplingGraph& g,
+    const LatencyFn& latency)
+    : IncrementalQftChecker(initial, g) {
+  fn_ = &latency;
+}
+
+bool IncrementalQftChecker::fail(std::string msg) {
+  failed_ = true;
+  error_ = std::move(msg);
+  return false;
+}
+
+bool IncrementalQftChecker::fail_gate(const Gate& gate,
+                                      const std::string& what) {
+  return fail(gate_ctx(gates_seen_ - 1, gate) + what);
+}
+
+template <bool kTrusted>
+bool IncrementalQftChecker::push_impl(const Gate& gate) {
+  if (failed_) return false;
+  ++gates_seen_;
+  const bool two = gate.two_qubit();
+  if (!kTrusted) {
+    // Gates may arrive from outside a Circuit (which validates on append),
+    // so guard the wire indices before they index checker state.
+    if (gate.q0 < 0 || gate.q0 >= num_physical_) {
+      return fail_gate(gate, ": physical qubit out of range");
+    }
+    if (two &&
+        (gate.q1 < 0 || gate.q1 >= num_physical_ || gate.q1 == gate.q0)) {
+      return fail_gate(gate, ": physical qubit out of range");
+    }
+  }
+  // One probe serves both the adjacency check and the latency charge.
+  LinkType link = LinkType::kStandard;
+  if (two) {
+    const auto lt = graph_->link_type(gate.q0, gate.q1);
+    if (!lt) {
+      return fail_gate(gate, ": qubits not coupled on " + graph_->name());
+    }
+    link = *lt;
+  }
+  switch (gate.kind) {
+    case GateKind::kSwap: {
+      const LogicalQubit la = p2l_[gate.q0];
+      p2l_[gate.q0] = p2l_[gate.q1];
+      p2l_[gate.q1] = la;
+      ++counts_.swap;
+      break;
+    }
+    case GateKind::kH: {
+      const LogicalQubit l = p2l_[gate.q0];
+      if (l == kInvalidQubit) return fail_gate(gate, ": H on empty node");
+      if (h_bit(l)) {
+        return fail_gate(gate, ": duplicate H on logical " + std::to_string(l));
+      }
+      set_h_bit(l);
+      ++hs_;
+      ++counts_.h;
+      break;
+    }
+    case GateKind::kCPhase: {
+      const LogicalQubit a = p2l_[gate.q0];
+      const LogicalQubit b = p2l_[gate.q1];
+      if (a == kInvalidQubit || b == kInvalidQubit) {
+        return fail_gate(gate, ": CPHASE touches empty node");
+      }
+      const LogicalQubit lo = std::min(a, b), hi = std::max(a, b);
+      const std::size_t idx = pair_index(lo, hi);
+      if (pair_bit(idx)) {
+        return fail_gate(gate, ": duplicate CPHASE on logical pair {" +
+                                   std::to_string(lo) + "," +
+                                   std::to_string(hi) + "}");
+      }
+      if (std::abs(gate.angle -
+                   angle_by_gap_[static_cast<std::size_t>(hi - lo)]) > 1e-12) {
+        return fail_gate(gate, ": wrong angle for pair {" + std::to_string(lo) +
+                                   "," + std::to_string(hi) + "}");
+      }
+      // Relaxed-ordering window (Type II).
+      if (!h_bit(lo)) {
+        return fail_gate(gate, ": pair {" + std::to_string(lo) + "," +
+                                   std::to_string(hi) + "} before H(" +
+                                   std::to_string(lo) + ")");
+      }
+      if (h_bit(hi)) {
+        return fail_gate(gate, ": pair {" + std::to_string(lo) + "," +
+                                   std::to_string(hi) + "} after H(" +
+                                   std::to_string(hi) + ")");
+      }
+      set_pair_bit(idx);
+      ++pairs_;
+      ++counts_.cphase;
+      break;
+    }
+    default:
+      return fail_gate(gate, ": unexpected gate kind in QFT mapping");
+  }
+  // Fused ASAP scheduling — same arithmetic as schedule_asap, maintained
+  // inline so verification never needs a second walk over the circuit.
+  Cycle t = ready_[gate.q0];
+  if (two) t = std::max(t, ready_[gate.q1]);
+  const Cycle dur =
+      fn_ != nullptr ? (*fn_)(gate) : model_.cycles_on_link(gate.kind, link);
+  ready_[gate.q0] = t + dur;
+  if (two) ready_[gate.q1] = t + dur;
+  depth_ = std::max(depth_, t + dur);
+  return true;
+}
+
+bool IncrementalQftChecker::push(const Gate& gate) {
+  return push_impl<false>(gate);
+}
+
+bool IncrementalQftChecker::push_trusted(const Gate& gate) {
+  return push_impl<true>(gate);
+}
+
+QftCheckResult IncrementalQftChecker::finish(
+    const std::vector<PhysicalQubit>& declared_final) {
+  if (failed_) return fail_result(error_);
+  if (hs_ != n_) {
+    fail("missing H gates: got " + std::to_string(hs_) + " of " +
+         std::to_string(n_));
+    return fail_result(error_);
+  }
+  if (pairs_ != qft_pair_count(n_)) {
+    // Identify one missing pair for the error message.
+    for (LogicalQubit a = 0; a < n_; ++a) {
+      for (LogicalQubit b = a + 1; b < n_; ++b) {
+        if (!pair_bit(pair_index(a, b))) {
+          fail("missing CPHASE for pair {" + std::to_string(a) + "," +
+               std::to_string(b) + "}");
+          return fail_result(error_);
+        }
+      }
+    }
+  }
+  if (static_cast<std::int32_t>(declared_final.size()) != n_) {
+    fail("declared final mapping has wrong size");
+    return fail_result(error_);
+  }
+  // Invert the tracked occupancy once for the final-mapping comparison.
+  std::vector<PhysicalQubit> physical_of(static_cast<std::size_t>(n_),
+                                         kInvalidQubit);
+  for (PhysicalQubit p = 0; p < num_physical_; ++p) {
+    if (p2l_[p] != kInvalidQubit) physical_of[p2l_[p]] = p;
+  }
+  for (LogicalQubit l = 0; l < n_; ++l) {
+    if (physical_of[l] != declared_final[l]) {
+      fail("declared final mapping wrong for logical " + std::to_string(l));
+      return fail_result(error_);
+    }
+  }
+  QftCheckResult r;
+  r.ok = true;
+  r.depth = depth_;
+  r.counts = counts_;
+  return r;
+}
+
+// ------------------------------------------------------ streaming drivers --
+
+namespace {
+
+template <typename Checker>
+QftCheckResult run_stream(Checker& checker, const MappedCircuit& mc) {
+  // Circuit::append validated every wire index, and the driver checked the
+  // circuit against the graph's qubit count, so the trusted path applies.
+  for (const Gate& gate : mc.circuit) {
+    if (!checker.push_trusted(gate)) break;
+  }
+  return checker.finish(mc.final_mapping);
+}
+
+/// Header validation shared by every entry point; empty string when sane.
+std::string header_error(const MappedCircuit& mc, const CouplingGraph& g) {
+  if (mc.circuit.num_qubits() != g.num_qubits()) {
+    return "circuit/physical qubit count mismatch";
+  }
+  if (!valid_mapping(mc.initial, g.num_qubits())) {
+    return "initial mapping is not an injection";
+  }
+  if (!valid_mapping(mc.final_mapping, g.num_qubits())) {
+    return "final mapping is not an injection";
+  }
+  return {};
 }
 
 }  // namespace
 
 QftCheckResult check_qft_mapping(const MappedCircuit& mc,
                                  const CouplingGraph& g,
+                                 const LatencyModel& latency) {
+  std::string err = header_error(mc, g);
+  if (!err.empty()) return fail_result(std::move(err));
+  IncrementalQftChecker checker(mc.initial, g, latency);
+  return run_stream(checker, mc);
+}
+
+QftCheckResult check_qft_mapping(const MappedCircuit& mc,
+                                 const CouplingGraph& g,
                                  const LatencyFn& latency) {
+  std::string err = header_error(mc, g);
+  if (!err.empty()) return fail_result(std::move(err));
+  IncrementalQftChecker checker(mc.initial, g, latency);
+  return run_stream(checker, mc);
+}
+
+// -------------------------------------------------------- replay (legacy) --
+
+QftCheckResult check_qft_mapping_replay(const MappedCircuit& mc,
+                                        const CouplingGraph& g,
+                                        const LatencyFn& latency) {
   const std::int32_t n = mc.num_logical();
-  if (mc.circuit.num_qubits() != g.num_qubits()) {
-    return fail("circuit/physical qubit count mismatch");
-  }
-  if (!valid_mapping(mc.initial, g.num_qubits())) {
-    return fail("initial mapping is not an injection");
-  }
-  if (!valid_mapping(mc.final_mapping, g.num_qubits())) {
-    return fail("final mapping is not an injection");
-  }
+  std::string err = header_error(mc, g);
+  if (!err.empty()) return fail_result(std::move(err));
 
   MappingTracker tracker(mc.initial, g.num_qubits());
   std::vector<std::uint8_t> h_seen(n, 0);
@@ -49,7 +284,8 @@ QftCheckResult check_qft_mapping(const MappedCircuit& mc,
   for (std::size_t i = 0; i < mc.circuit.size(); ++i) {
     const Gate& gate = mc.circuit[i];
     if (gate.two_qubit() && !g.adjacent(gate.q0, gate.q1)) {
-      return fail(gate_ctx(i, gate) + ": qubits not coupled on " + g.name());
+      return fail_result(gate_ctx(i, gate) + ": qubits not coupled on " +
+                         g.name());
     }
     switch (gate.kind) {
       case GateKind::kSwap:
@@ -57,8 +293,13 @@ QftCheckResult check_qft_mapping(const MappedCircuit& mc,
         break;
       case GateKind::kH: {
         const LogicalQubit l = tracker.logical_at(gate.q0);
-        if (l == kInvalidQubit) return fail(gate_ctx(i, gate) + ": H on empty node");
-        if (h_seen[l]) return fail(gate_ctx(i, gate) + ": duplicate H on logical " + std::to_string(l));
+        if (l == kInvalidQubit) {
+          return fail_result(gate_ctx(i, gate) + ": H on empty node");
+        }
+        if (h_seen[l]) {
+          return fail_result(gate_ctx(i, gate) + ": duplicate H on logical " +
+                             std::to_string(l));
+        }
         h_seen[l] = 1;
         ++hs;
         break;
@@ -67,54 +308,59 @@ QftCheckResult check_qft_mapping(const MappedCircuit& mc,
         const LogicalQubit a = tracker.logical_at(gate.q0);
         const LogicalQubit b = tracker.logical_at(gate.q1);
         if (a == kInvalidQubit || b == kInvalidQubit) {
-          return fail(gate_ctx(i, gate) + ": CPHASE touches empty node");
+          return fail_result(gate_ctx(i, gate) + ": CPHASE touches empty node");
         }
         const LogicalQubit lo = std::min(a, b), hi = std::max(a, b);
         if (pair_seen[pidx(lo, hi)]) {
-          return fail(gate_ctx(i, gate) + ": duplicate CPHASE on logical pair {" +
-                      std::to_string(lo) + "," + std::to_string(hi) + "}");
+          return fail_result(gate_ctx(i, gate) +
+                             ": duplicate CPHASE on logical pair {" +
+                             std::to_string(lo) + "," + std::to_string(hi) +
+                             "}");
         }
         if (std::abs(gate.angle - qft_angle(lo, hi)) > 1e-12) {
-          return fail(gate_ctx(i, gate) + ": wrong angle for pair {" +
-                      std::to_string(lo) + "," + std::to_string(hi) + "}");
+          return fail_result(gate_ctx(i, gate) + ": wrong angle for pair {" +
+                             std::to_string(lo) + "," + std::to_string(hi) +
+                             "}");
         }
         // Relaxed-ordering window (Type II).
         if (!h_seen[lo]) {
-          return fail(gate_ctx(i, gate) + ": pair {" + std::to_string(lo) + "," +
-                      std::to_string(hi) + "} before H(" + std::to_string(lo) + ")");
+          return fail_result(gate_ctx(i, gate) + ": pair {" +
+                             std::to_string(lo) + "," + std::to_string(hi) +
+                             "} before H(" + std::to_string(lo) + ")");
         }
         if (h_seen[hi]) {
-          return fail(gate_ctx(i, gate) + ": pair {" + std::to_string(lo) + "," +
-                      std::to_string(hi) + "} after H(" + std::to_string(hi) + ")");
+          return fail_result(gate_ctx(i, gate) + ": pair {" +
+                             std::to_string(lo) + "," + std::to_string(hi) +
+                             "} after H(" + std::to_string(hi) + ")");
         }
         pair_seen[pidx(lo, hi)] = 1;
         ++pairs;
         break;
       }
       default:
-        return fail(gate_ctx(i, gate) + ": unexpected gate kind in QFT mapping");
+        return fail_result(gate_ctx(i, gate) +
+                           ": unexpected gate kind in QFT mapping");
     }
   }
 
   if (hs != n) {
-    return fail("missing H gates: got " + std::to_string(hs) + " of " +
-                std::to_string(n));
+    return fail_result("missing H gates: got " + std::to_string(hs) + " of " +
+                       std::to_string(n));
   }
   if (pairs != qft_pair_count(n)) {
-    // Identify one missing pair for the error message.
     for (LogicalQubit a = 0; a < n; ++a) {
       for (LogicalQubit b = a + 1; b < n; ++b) {
         if (!pair_seen[pidx(a, b)]) {
-          return fail("missing CPHASE for pair {" + std::to_string(a) + "," +
-                      std::to_string(b) + "}");
+          return fail_result("missing CPHASE for pair {" + std::to_string(a) +
+                             "," + std::to_string(b) + "}");
         }
       }
     }
   }
   for (LogicalQubit l = 0; l < n; ++l) {
     if (tracker.physical_of(l) != mc.final_mapping[l]) {
-      return fail("declared final mapping wrong for logical " +
-                  std::to_string(l));
+      return fail_result("declared final mapping wrong for logical " +
+                         std::to_string(l));
     }
   }
 

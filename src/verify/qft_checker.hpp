@@ -1,6 +1,6 @@
 // Static verifier for mapped QFT circuits — the analogue of the paper's
-// correctness simulator, but exhaustive and size-independent. It replays the
-// hardware circuit while tracking the logical mapping and asserts:
+// correctness simulator, but exhaustive and size-independent. It tracks the
+// logical mapping through the hardware circuit and asserts:
 //   1. every two-qubit gate acts on a coupling-graph edge;
 //   2. every logical pair {i,j} receives exactly one CPHASE, with the QFT
 //      angle pi/2^{j-i};
@@ -10,9 +10,19 @@
 //      unitarily equal to the textbook QFT, which the equivalence tests
 //      confirm independently on small sizes;
 //   5. the declared final mapping matches the tracked one.
+//
+// IncrementalQftChecker is the streaming form: gates are fed one at a time
+// and the adjacency/ordering/angle checks, the latency-weighted ASAP depth,
+// and the gate counts are all maintained in that single pass — no post-hoc
+// replay, no separate scheduling or counting walks. Pair bookkeeping is a
+// packed triangular bitset (n(n-1)/2 bits ≈ n²/16 bytes instead of the n²
+// bytes the old checker allocated). check_qft_mapping is a thin driver over
+// it; check_qft_mapping_replay preserves the original multi-pass algorithm
+// as a differential oracle for tests and benchmarks.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "arch/coupling_graph.hpp"
 #include "arch/latency_model.hpp"
@@ -30,8 +40,121 @@ struct QftCheckResult {
   explicit operator bool() const { return ok; }
 };
 
+class IncrementalQftChecker {
+ public:
+  /// Begins verification of a QFT(initial.size()) mapping onto `g` with
+  /// `initial` as the logical->physical entry mapping. The graph must
+  /// outlive the checker; `initial` must be an injection (throws otherwise —
+  /// check_qft_mapping pre-validates and reports instead).
+  IncrementalQftChecker(const std::vector<PhysicalQubit>& initial,
+                        const CouplingGraph& g,
+                        LatencyModel latency = LatencyModel());
+
+  /// Compat form for arbitrary latency callbacks; `latency` must outlive
+  /// the checker (the rvalue overload is deleted so a temporary cannot
+  /// dangle). Pays one std::function call per gate — prefer the
+  /// LatencyModel constructor on hot paths.
+  IncrementalQftChecker(const std::vector<PhysicalQubit>& initial,
+                        const CouplingGraph& g, const LatencyFn& latency);
+  IncrementalQftChecker(const std::vector<PhysicalQubit>& initial,
+                        const CouplingGraph& g, LatencyFn&& latency) = delete;
+
+  /// Feeds the next gate. Returns false once verification has failed;
+  /// subsequent gates are ignored.
+  bool push(const Gate& gate);
+
+  /// push() minus the wire-range guards — for gates whose indices were
+  /// already validated against a Circuit with the graph's qubit count (the
+  /// check_qft_mapping drivers). Out-of-range indices are undefined here.
+  bool push_trusted(const Gate& gate);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  std::int64_t gates_seen() const { return gates_seen_; }
+
+  /// Latency-weighted ASAP makespan of the gates fed so far.
+  Cycle depth() const { return depth_; }
+  const GateCounts& counts() const { return counts_; }
+
+  /// Logical qubit currently at physical node p (kInvalidQubit if empty).
+  LogicalQubit logical_at(PhysicalQubit p) const { return p2l_[p]; }
+
+  /// Completes the check: totals (every H, every pair exactly once) and the
+  /// declared final mapping. The verdict carries depth and gate counts.
+  QftCheckResult finish(const std::vector<PhysicalQubit>& declared_final);
+
+ private:
+  template <bool kTrusted>
+  bool push_impl(const Gate& gate);
+
+  bool fail_gate(const Gate& gate, const std::string& what);
+  bool fail(std::string msg);
+
+  bool h_bit(LogicalQubit l) const {
+    return (h_seen_[static_cast<std::size_t>(l) >> 6] >>
+            (static_cast<std::size_t>(l) & 63)) &
+           1u;
+  }
+  void set_h_bit(LogicalQubit l) {
+    h_seen_[static_cast<std::size_t>(l) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(l) & 63);
+  }
+
+  /// Packed upper-triangular index of pair (lo,hi), 0 <= lo < hi < n.
+  std::size_t pair_index(LogicalQubit lo, LogicalQubit hi) const {
+    const std::int64_t row =
+        static_cast<std::int64_t>(lo) * (2 * n_ - lo - 1) / 2;
+    return static_cast<std::size_t>(row + (hi - lo - 1));
+  }
+  bool pair_bit(std::size_t idx) const {
+    return (pair_seen_[idx >> 6] >> (idx & 63)) & 1u;
+  }
+  void set_pair_bit(std::size_t idx) {
+    pair_seen_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+
+  const CouplingGraph* graph_;
+  LatencyModel model_;
+  const LatencyFn* fn_ = nullptr;  // non-null only for the compat constructor
+
+  std::int32_t n_ = 0;
+  std::int32_t num_physical_ = 0;
+  // Only the physical->logical direction is tracked while streaming (a SWAP
+  // is then branch-free); the logical->physical view is inverted once in
+  // finish() for the final-mapping comparison.
+  std::vector<LogicalQubit> p2l_;
+  std::vector<double> angle_by_gap_;      // qft_angle(0, gap), gap = hi - lo
+  std::vector<std::uint64_t> h_seen_;     // one bit per logical qubit
+  std::vector<std::uint64_t> pair_seen_;  // triangular, n(n-1)/2 bits
+  std::int64_t hs_ = 0;
+  std::int64_t pairs_ = 0;
+  GateCounts counts_;
+
+  std::vector<Cycle> ready_;  // fused ASAP scheduler state, one per wire
+  Cycle depth_ = 0;
+
+  std::int64_t gates_seen_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Single-pass verification driven by IncrementalQftChecker; the fast path
+/// the pipeline uses.
+QftCheckResult check_qft_mapping(const MappedCircuit& mc,
+                                 const CouplingGraph& g,
+                                 const LatencyModel& latency);
+
+/// Compat overload for arbitrary latency callbacks.
 QftCheckResult check_qft_mapping(const MappedCircuit& mc,
                                  const CouplingGraph& g,
                                  const LatencyFn& latency = unit_latency);
+
+/// The pre-rewrite checker: full replay, then separate scheduling and
+/// counting passes over the circuit. Kept as the differential oracle — tests
+/// assert it agrees with the streaming checker bit-for-bit, and
+/// bench_checker measures the rewrite against it.
+QftCheckResult check_qft_mapping_replay(const MappedCircuit& mc,
+                                        const CouplingGraph& g,
+                                        const LatencyFn& latency = unit_latency);
 
 }  // namespace qfto

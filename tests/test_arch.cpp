@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "arch/grid.hpp"
 #include "arch/heavy_hex.hpp"
 #include "arch/lattice_surgery.hpp"
@@ -30,6 +35,73 @@ TEST(CouplingGraph, LinkTypes) {
   EXPECT_EQ(g.link_type(0, 1), LinkType::kFast);
   EXPECT_EQ(g.link_type(2, 1), LinkType::kCnotOnly);
   EXPECT_FALSE(g.link_type(0, 2).has_value());
+}
+
+TEST(CouplingGraph, DegreeMatchesNeighborList) {
+  const CouplingGraph g = make_grid(3, 3);
+  for (PhysicalQubit q = 0; q < g.num_qubits(); ++q) {
+    EXPECT_EQ(g.degree(q),
+              static_cast<std::int32_t>(g.neighbors(q).size()));
+  }
+}
+
+TEST(CouplingGraph, AdjacencyAgreesWithNeighborLists) {
+  // The CSR fast path and the neighbor lists are maintained together; a
+  // full cross-check over a link-typed graph locks them in sync.
+  const CouplingGraph g = make_lattice_surgery_full(4);
+  for (PhysicalQubit a = 0; a < g.num_qubits(); ++a) {
+    for (PhysicalQubit b = 0; b < g.num_qubits(); ++b) {
+      const auto& na = g.neighbors(a);
+      const bool in_list = std::find(na.begin(), na.end(), b) != na.end();
+      EXPECT_EQ(g.adjacent(a, b), in_list) << a << "," << b;
+      EXPECT_EQ(g.link_type(a, b).has_value(), in_list) << a << "," << b;
+    }
+  }
+}
+
+TEST(CouplingGraph, DistanceMatrixConcurrentFirstUse) {
+  // Regression for the lazy-init data race: map_qft_batch maps on a shared
+  // graph from a thread pool, and the first distance query used to populate
+  // the mutable cache unsynchronized. Under ThreadSanitizer the old code
+  // reports here; without it the test still cross-checks every value.
+  const CouplingGraph shared = make_lattice_surgery_rotated(8);
+  const CouplingGraph reference = make_lattice_surgery_rotated(8);
+  const auto& expected = reference.distance_matrix();  // serial baseline
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&shared, &expected, &mismatches, t]() {
+      const std::int32_t n = shared.num_qubits();
+      for (PhysicalQubit a = t; a < n; a += kThreads) {
+        for (PhysicalQubit b = 0; b < n; ++b) {
+          if (shared.distance(a, b) != expected[a][b]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(shared.connected());
+}
+
+TEST(CouplingGraph, CopyAndMoveKeepQueriesIntact) {
+  CouplingGraph g("g", 4);
+  g.add_edge(0, 1, LinkType::kFast);
+  g.add_edge(1, 2, LinkType::kCnotOnly);
+  (void)g.distance_matrix();  // warm the cache so the copy carries it
+
+  const CouplingGraph copy = g;
+  EXPECT_TRUE(copy.adjacent(0, 1));
+  EXPECT_EQ(copy.link_type(1, 2), LinkType::kCnotOnly);
+  EXPECT_EQ(copy.distance(0, 2), 2);
+
+  CouplingGraph moved = std::move(g);
+  EXPECT_TRUE(moved.adjacent(1, 2));
+  EXPECT_EQ(moved.link_type(0, 1), LinkType::kFast);
+  EXPECT_EQ(moved.distance(0, 2), 2);
 }
 
 TEST(CouplingGraph, DistancesAndConnectivity) {
@@ -180,6 +252,49 @@ TEST(LatencyModel, LatticeWeights) {
   EXPECT_EQ(lat(Gate::cphase(a, down, 0.5)), kLsCphaseDepth);
   EXPECT_EQ(lat(Gate::cnot(a, right)), kLsCnotDepth);
   EXPECT_EQ(lat(Gate::h(a)), 1);
+}
+
+TEST(LatencyModel, ConcreteModelMatchesCallableAdapter) {
+  const CouplingGraph g = make_lattice_surgery_rotated(3);
+  const LatticeLayout lay{3};
+  const LatencyModel model = LatencyModel::lattice(g);
+  const auto fn = lattice_latency(g);
+  const auto a = lay.node(0, 0), right = lay.node(0, 1), down = lay.node(1, 0);
+  for (const Gate& gate :
+       {Gate::swap(a, right), Gate::swap(a, down), Gate::cphase(a, down, 0.5),
+        Gate::cnot(a, right), Gate::h(a)}) {
+    EXPECT_EQ(model.cycles(gate), fn(gate)) << gate.to_string();
+    EXPECT_EQ(model(gate), fn(gate)) << gate.to_string();
+  }
+}
+
+TEST(LatencyModel, CyclesOnLinkSkipsTheGraphProbe) {
+  const CouplingGraph g = make_lattice_surgery_rotated(3);
+  const LatencyModel model = LatencyModel::lattice(g);
+  EXPECT_EQ(model.cycles_on_link(GateKind::kSwap, LinkType::kFast),
+            kLsFastSwapDepth);
+  EXPECT_EQ(model.cycles_on_link(GateKind::kSwap, LinkType::kCnotOnly),
+            kLsSlowSwapDepth);
+  EXPECT_EQ(model.cycles_on_link(GateKind::kCPhase, LinkType::kCnotOnly),
+            kLsCphaseDepth);
+  EXPECT_EQ(model.cycles_on_link(GateKind::kH, LinkType::kStandard), 1);
+}
+
+TEST(LatencyModel, NonEdgeTwoQubitGateChargedSlow) {
+  // Baselines evaluated leniently can emit gates off the link set; the seed
+  // charged those the slow-SWAP cost and the model must keep doing so.
+  const CouplingGraph g = make_lattice_surgery_rotated(3);
+  const LatticeLayout lay{3};
+  const LatencyModel model = LatencyModel::lattice(g);
+  const Gate far = Gate::swap(lay.node(0, 0), lay.node(2, 2));
+  ASSERT_FALSE(g.adjacent(far.q0, far.q1));
+  EXPECT_EQ(model.cycles(far), kLsSlowSwapDepth);
+}
+
+TEST(LatencyModel, LinkTypedCostRequiresBoundGraph) {
+  LatencyModel m;
+  EXPECT_THROW(m.set_cost(GateKind::kSwap, LinkType::kFast, 2),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "arch/line.hpp"
 #include "circuit/qft_spec.hpp"
+#include "pipeline/mapper_pipeline.hpp"
 #include "verify/equivalence.hpp"
 #include "verify/mapping_tracker.hpp"
 #include "verify/qft_checker.hpp"
@@ -162,6 +165,216 @@ TEST(Checker, TracksSwapsIntoFinalMapping) {
   const auto r = check_qft_mapping(mc, g);
   EXPECT_TRUE(r.ok) << r.error;
 }
+
+// ------------------------------------------------------- incremental API --
+
+TEST(IncrementalChecker, StreamsTinyValidCircuit) {
+  const CouplingGraph g = make_line(2);
+  const MappedCircuit mc = tiny_valid();
+  IncrementalQftChecker chk(mc.initial, g);
+  for (const Gate& gate : mc.circuit) ASSERT_TRUE(chk.push(gate));
+  EXPECT_FALSE(chk.failed());
+  EXPECT_EQ(chk.gates_seen(), 3);
+  const auto r = chk.finish(mc.final_mapping);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.depth, 3);
+  EXPECT_EQ(r.counts.cphase, 1);
+  EXPECT_EQ(r.counts.h, 2);
+}
+
+TEST(IncrementalChecker, MidStreamStateIsObservable) {
+  const CouplingGraph g = make_line(2);
+  IncrementalQftChecker chk({0, 1}, g);
+  EXPECT_EQ(chk.logical_at(0), 0);
+  ASSERT_TRUE(chk.push(Gate::h(0)));
+  EXPECT_EQ(chk.depth(), 1);
+  ASSERT_TRUE(chk.push(Gate::swap(0, 1)));
+  EXPECT_EQ(chk.logical_at(0), 1);
+  EXPECT_EQ(chk.counts().swap, 1);
+}
+
+TEST(IncrementalChecker, RejectsOutOfRangeWires) {
+  const CouplingGraph g = make_line(2);
+  IncrementalQftChecker chk({0, 1}, g);
+  EXPECT_FALSE(chk.push(Gate::h(7)));
+  EXPECT_TRUE(chk.failed());
+  EXPECT_NE(chk.error().find("out of range"), std::string::npos);
+  // Subsequent gates are ignored once failed.
+  EXPECT_FALSE(chk.push(Gate::h(0)));
+}
+
+TEST(IncrementalChecker, RejectsBadInitialMapping) {
+  const CouplingGraph g = make_line(3);
+  EXPECT_THROW(IncrementalQftChecker({0, 0}, g), std::invalid_argument);
+  EXPECT_THROW(IncrementalQftChecker({5}, g), std::invalid_argument);
+}
+
+// --------------------------------------------------------- mutation suite --
+//
+// For every checker failure mode, corrupt a valid engine-mapped circuit and
+// assert that the rewrite (check_qft_mapping), the legacy replay oracle
+// (check_qft_mapping_replay) and the raw IncrementalQftChecker API all
+// reject it with the same diagnosis — locking the streaming rewrite against
+// silently accepting what the old checker refused.
+
+class CheckerMutation : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    engine_ = GetParam();
+    result_ = map_qft(engine_, 16);
+    ASSERT_TRUE(result_.check.ok) << result_.check.error;
+    latency_ = MapperPipeline::global().at(engine_).latency(result_.graph);
+  }
+
+  const CouplingGraph& graph() const { return result_.graph; }
+  const MappedCircuit& valid() const { return result_.mapped; }
+
+  std::vector<Gate> gates() const { return valid().circuit.gates(); }
+
+  MappedCircuit rebuilt(const std::vector<Gate>& gates) const {
+    MappedCircuit mc;
+    mc.circuit = Circuit(valid().circuit.num_qubits());
+    for (const Gate& g : gates) mc.circuit.append(g);
+    mc.initial = valid().initial;
+    mc.final_mapping = valid().final_mapping;
+    return mc;
+  }
+
+  static std::size_t find_kind(const std::vector<Gate>& gates, GateKind kind) {
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (gates[i].kind == kind) return i;
+    }
+    return gates.size();
+  }
+
+  static std::size_t rfind_kind(const std::vector<Gate>& gates,
+                                GateKind kind) {
+    for (std::size_t i = gates.size(); i-- > 0;) {
+      if (gates[i].kind == kind) return i;
+    }
+    return gates.size();
+  }
+
+  void expect_all_reject(const MappedCircuit& mc,
+                         const std::string& substring) const {
+    const auto fast = check_qft_mapping(mc, graph(), latency_);
+    EXPECT_FALSE(fast.ok);
+    EXPECT_NE(fast.error.find(substring), std::string::npos) << fast.error;
+
+    const auto legacy = check_qft_mapping_replay(mc, graph(), latency_);
+    EXPECT_FALSE(legacy.ok);
+    EXPECT_EQ(fast.error, legacy.error);
+
+    IncrementalQftChecker chk(mc.initial, graph(), latency_);
+    for (const Gate& g : mc.circuit) {
+      if (!chk.push(g)) break;
+    }
+    const auto streamed = chk.finish(mc.final_mapping);
+    EXPECT_FALSE(streamed.ok);
+    EXPECT_EQ(streamed.error, fast.error);
+  }
+
+  std::string engine_;
+  MapResult result_;
+  LatencyFn latency_;
+};
+
+TEST_P(CheckerMutation, ValidCircuitAcceptedIdenticallyByBothCheckers) {
+  const auto fast = check_qft_mapping(valid(), graph(), latency_);
+  const auto legacy = check_qft_mapping_replay(valid(), graph(), latency_);
+  ASSERT_TRUE(fast.ok) << fast.error;
+  ASSERT_TRUE(legacy.ok) << legacy.error;
+  EXPECT_EQ(fast.depth, legacy.depth);
+  EXPECT_EQ(fast.counts.h, legacy.counts.h);
+  EXPECT_EQ(fast.counts.cphase, legacy.counts.cphase);
+  EXPECT_EQ(fast.counts.swap, legacy.counts.swap);
+  EXPECT_EQ(fast.counts.total(), legacy.counts.total());
+}
+
+TEST_P(CheckerMutation, RejectsNonCoupledGate) {
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kCPhase);
+  ASSERT_LT(i, gs.size());
+  PhysicalQubit far = kInvalidQubit;
+  for (PhysicalQubit p = 0; p < graph().num_qubits(); ++p) {
+    if (p != gs[i].q0 && !graph().adjacent(gs[i].q0, p)) {
+      far = p;
+      break;
+    }
+  }
+  ASSERT_NE(far, kInvalidQubit);
+  gs[i].q1 = far;
+  expect_all_reject(rebuilt(gs), "not coupled");
+}
+
+TEST_P(CheckerMutation, RejectsDuplicateH) {
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kH);
+  ASSERT_LT(i, gs.size());
+  gs.insert(gs.begin() + i + 1, gs[i]);
+  expect_all_reject(rebuilt(gs), "duplicate H");
+}
+
+TEST_P(CheckerMutation, RejectsMissingH) {
+  auto gs = gates();
+  const std::size_t i = rfind_kind(gs, GateKind::kH);
+  ASSERT_LT(i, gs.size());
+  gs.erase(gs.begin() + i);
+  // Depending on what follows, either the H total or a Type-II window check
+  // reports first; both diagnose the missing Hadamard.
+  expect_all_reject(rebuilt(gs), "H");
+}
+
+TEST_P(CheckerMutation, RejectsDuplicateCphase) {
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kCPhase);
+  ASSERT_LT(i, gs.size());
+  gs.insert(gs.begin() + i + 1, gs[i]);
+  expect_all_reject(rebuilt(gs), "duplicate CPHASE");
+}
+
+TEST_P(CheckerMutation, RejectsMissingCphase) {
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kCPhase);
+  ASSERT_LT(i, gs.size());
+  gs.erase(gs.begin() + i);
+  expect_all_reject(rebuilt(gs), "missing CPHASE");
+}
+
+TEST_P(CheckerMutation, RejectsWrongAngle) {
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kCPhase);
+  ASSERT_LT(i, gs.size());
+  gs[i].angle += 0.125;
+  expect_all_reject(rebuilt(gs), "angle");
+}
+
+TEST_P(CheckerMutation, RejectsTypeIiOrderingViolation) {
+  // Hoisting a CPHASE to the very front of the circuit breaks the relaxed
+  // ordering window: no H has executed yet, so the pair is premature (or,
+  // when SWAPs have shuffled the occupants, the stamped angle no longer
+  // matches the pair at that node). Either way the window logic must refuse.
+  auto gs = gates();
+  const std::size_t i = find_kind(gs, GateKind::kCPhase);
+  ASSERT_LT(i, gs.size());
+  const Gate moved = gs[i];
+  gs.erase(gs.begin() + i);
+  gs.insert(gs.begin(), moved);
+  expect_all_reject(rebuilt(gs), "pair {");
+}
+
+TEST_P(CheckerMutation, RejectsWrongFinalMapping) {
+  MappedCircuit mc = valid();
+  ASSERT_GE(mc.final_mapping.size(), 2u);
+  std::swap(mc.final_mapping[0], mc.final_mapping[1]);
+  expect_all_reject(mc, "final mapping");
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CheckerMutation,
+                         ::testing::Values("lnn", "heavy_hex", "lattice"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
 
 TEST(Equivalence, AcceptsTextbookIdentityMapping) {
   MappedCircuit mc = tiny_valid();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "arch/latency_model.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/inverse.hpp"
 #include "circuit/mapped_circuit.hpp"
@@ -116,6 +117,44 @@ TEST(Scheduler, LayersGroupByStart) {
 TEST(Scheduler, EmptyCircuit) {
   Circuit c(3);
   EXPECT_EQ(circuit_depth(c), 0);
+}
+
+TEST(Scheduler, LayersSkipEmptyStartCycles) {
+  // Weighted latency leaves gaps between start cycles; the bucket fill must
+  // drop the empty buckets exactly like the old sorted-map grouping did.
+  Circuit c(2);
+  c.append(Gate::swap(0, 1));        // starts 0, lasts 6
+  c.append(Gate::cphase(0, 1, 1.0));  // starts 6
+  c.append(Gate::h(0));               // starts 8
+  auto lat = [](const Gate& g) -> Cycle {
+    return g.kind == GateKind::kSwap ? 6 : 2;
+  };
+  const Schedule s = schedule_asap(c, lat);
+  const auto layers = s.layers();
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0], (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(layers[1], (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(layers[2], (std::vector<std::int32_t>{2}));
+}
+
+TEST(Scheduler, LatencyModelMatchesEquivalentCallable) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::cphase(0, 1, 1.0));
+  c.append(Gate::swap(1, 2));
+  c.append(Gate::h(2));
+  LatencyModel model;
+  model.set_cost(GateKind::kSwap, 6).set_cost(GateKind::kCPhase, 2);
+  auto fn = [](const Gate& g) -> Cycle {
+    if (g.kind == GateKind::kSwap) return 6;
+    if (g.kind == GateKind::kCPhase) return 2;
+    return 1;
+  };
+  const Schedule a = schedule_asap(c, model);
+  const Schedule b = schedule_asap(c, LatencyFn(fn));
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(circuit_depth(c, model), a.depth);
 }
 
 TEST(Stats, CountsAllKinds) {

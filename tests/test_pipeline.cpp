@@ -188,6 +188,41 @@ TEST(PipelineOptions, VerifyOffSkipsTheChecker) {
   EXPECT_EQ(r.mapped.num_logical(), 12);
 }
 
+TEST(PipelineVerify, IncrementalAndReplayPathsAreBitIdentical) {
+  // The streaming checker replaced the post-hoc replay in the default verify
+  // path; both stay selectable and must agree exactly — same verdict, depth,
+  // counts and circuit — for every registered engine.
+  const auto& pipeline = MapperPipeline::global();
+  for (const auto& name : pipeline.engine_names()) {
+    MapOptions base;
+    base.sabre.trials = 1;
+    base.satmap.time_budget_seconds = 60.0;
+    const std::int32_t n = name == "satmap" ? 4 : (name == "sabre" ? 9 : 16);
+
+    MapOptions streaming = base;
+    streaming.incremental_verify = true;
+    MapOptions replay = base;
+    replay.incremental_verify = false;
+
+    const MapResult a = pipeline.run(name, n, streaming);
+    const MapResult b = pipeline.run(name, n, replay);
+    ASSERT_TRUE(a.check.ok) << name << ": " << a.check.error;
+    ASSERT_TRUE(b.check.ok) << name << ": " << b.check.error;
+    EXPECT_EQ(a.check.depth, b.check.depth) << name;
+    EXPECT_EQ(a.check.error, b.check.error) << name;
+    EXPECT_EQ(a.check.counts.h, b.check.counts.h) << name;
+    EXPECT_EQ(a.check.counts.cphase, b.check.counts.cphase) << name;
+    EXPECT_EQ(a.check.counts.swap, b.check.counts.swap) << name;
+    EXPECT_EQ(a.check.counts.cnot, b.check.counts.cnot) << name;
+    EXPECT_EQ(a.check.counts.total(), b.check.counts.total()) << name;
+    EXPECT_EQ(a.n, b.n) << name;
+    EXPECT_EQ(a.mapped.circuit.to_string(), b.mapped.circuit.to_string())
+        << name;
+    EXPECT_EQ(a.mapped.initial, b.mapped.initial) << name;
+    EXPECT_EQ(a.mapped.final_mapping, b.mapped.final_mapping) << name;
+  }
+}
+
 TEST(PipelineOptions, SatmapBudgetExhaustionThrowsRuntimeError) {
   MapOptions opts;
   opts.satmap.time_budget_seconds = 1e-6;  // certain TLE
