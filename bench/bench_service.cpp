@@ -1,0 +1,160 @@
+// MappingService throughput and latency — the serving-path numbers the
+// ROADMAP's batch-service item asks for.
+//
+// Families:
+//   service_cold/<engine>/n    — submit+wait with the cache disabled: every
+//                                request runs the full map+verify pipeline
+//                                on a worker.
+//   service_cached/<engine>/n  — identical request against a warmed cache:
+//                                the hit path (probe, copy, zeroed timings).
+//                                cold/cached is the memoization payoff; the
+//                                acceptance bar is >= 10x on the analytical
+//                                engines.
+//   service_queue_mixed        — a burst of mixed-engine jobs per iteration
+//                                on a cold cache; avg_queue_us reports the
+//                                mean time a job sat queued before a worker
+//                                picked it up.
+//   batch_via_service/n        — map_qft_batch riding the shared persistent
+//                                pool (the pre-service number spawned and
+//                                joined a fresh thread pool per call).
+//
+// Items/sec counts requests; UseRealTime everywhere because the work happens
+// on service workers while the benchmark thread blocks in wait().
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/batch.hpp"
+#include "service/mapping_service.hpp"
+
+namespace {
+
+using namespace qfto;
+
+MappingService::Options options_with(std::int32_t threads,
+                                     std::size_t cache_capacity) {
+  MappingService::Options options;
+  options.num_threads = threads;
+  options.cache_capacity = cache_capacity;
+  return options;
+}
+
+void service_cold(benchmark::State& state, const char* engine) {
+  MappingService service{options_with(0, /*cache_capacity=*/0)};
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    const JobResult out = service.submit({engine, n, MapOptions{}}).wait();
+    if (!out.ok()) {
+      state.SkipWithError(out.error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out.result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void service_cached(benchmark::State& state, const char* engine) {
+  MappingService service{options_with(0, /*cache_capacity=*/1024)};
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const JobResult warm = service.submit({engine, n, MapOptions{}}).wait();
+  if (!warm.ok()) {
+    state.SkipWithError(warm.error.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    const JobResult out = service.submit({engine, n, MapOptions{}}).wait();
+    if (!out.ok() || !out.result->cache_hit) {
+      state.SkipWithError("expected a cache hit");
+      return;
+    }
+    benchmark::DoNotOptimize(out.result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void service_queue_mixed(benchmark::State& state) {
+  // Mixed engine load with caching off: every job occupies a worker, so the
+  // queue-latency number reflects scheduling, not memoization.
+  const std::vector<BatchRequest> burst = {
+      {"lattice", 256, MapOptions{}},   {"sycamore", 256, MapOptions{}},
+      {"heavy_hex", 250, MapOptions{}}, {"lnn", 256, MapOptions{}},
+      {"lattice", 100, MapOptions{}},   {"sycamore", 100, MapOptions{}},
+      {"heavy_hex", 100, MapOptions{}}, {"lnn", 100, MapOptions{}},
+  };
+  MappingService service{options_with(0, /*cache_capacity=*/0)};
+  double queue_seconds_total = 0.0;
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    std::vector<JobHandle> handles;
+    handles.reserve(burst.size());
+    for (const BatchRequest& req : burst) handles.push_back(service.submit(req));
+    for (JobHandle& handle : handles) {
+      const JobResult out = handle.wait();
+      if (!out.ok()) {
+        state.SkipWithError(out.error.c_str());
+        return;
+      }
+      queue_seconds_total += out.queue_seconds;
+      ++jobs;
+    }
+  }
+  state.SetItemsProcessed(jobs);
+  state.counters["avg_queue_us"] =
+      jobs == 0 ? 0.0 : 1e6 * queue_seconds_total / static_cast<double>(jobs);
+}
+
+void batch_via_service(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  std::vector<BatchRequest> requests;
+  for (const char* engine : {"lnn", "heavy_hex", "sycamore", "lattice"}) {
+    BatchRequest req;
+    req.engine = engine;
+    req.n = n;
+    req.options.verify = true;
+    requests.push_back(std::move(req));
+  }
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    // Bust the shared service's cache each iteration (the sabre seed is in
+    // the option fingerprint but ignored by the analytical mappers), so
+    // this measures full batch map+verify throughput, not cache probes —
+    // service_cached already covers the hit path.
+    ++round;
+    for (BatchRequest& req : requests) req.options.sabre.seed = round;
+    const auto items = map_qft_batch(requests);
+    for (const BatchItem& item : items) {
+      if (!item.ok) {
+        state.SkipWithError(item.error.c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(items);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+
+BENCHMARK_CAPTURE(service_cold, lnn, "lnn")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+BENCHMARK_CAPTURE(service_cold, heavy_hex, "heavy_hex")
+    ->Arg(250)->Arg(1000)->UseRealTime();
+BENCHMARK_CAPTURE(service_cold, sycamore, "sycamore")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+BENCHMARK_CAPTURE(service_cold, lattice, "lattice")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+
+BENCHMARK_CAPTURE(service_cached, lnn, "lnn")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+BENCHMARK_CAPTURE(service_cached, heavy_hex, "heavy_hex")
+    ->Arg(250)->Arg(1000)->UseRealTime();
+BENCHMARK_CAPTURE(service_cached, sycamore, "sycamore")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+BENCHMARK_CAPTURE(service_cached, lattice, "lattice")
+    ->Arg(256)->Arg(1024)->UseRealTime();
+
+BENCHMARK(service_queue_mixed)->UseRealTime();
+BENCHMARK(batch_via_service)->Arg(100)->Arg(256)->UseRealTime();
+
+}  // namespace

@@ -13,15 +13,23 @@
 // the pipeline builds the native coupling graph, maps, and verifies with the
 // static checker. Small instances are additionally simulated. Output can be
 // written as OpenQASM 2.0.
+//
+// `--serve` switches to the long-running mode: newline-delimited JSON
+// requests on stdin are dispatched through the async MappingService
+// (priority queue, per-job deadlines, result cache) and JSON responses
+// stream to stdout — see src/service/serve.hpp for the protocol.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "circuit/stats.hpp"
 #include "circuit/transforms.hpp"
 #include "pipeline/mapper_pipeline.hpp"
 #include "qasm/qasm.hpp"
+#include "service/mapping_service.hpp"
+#include "service/serve.hpp"
 #include "verify/equivalence.hpp"
 
 namespace {
@@ -31,8 +39,9 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --arch ENGINE (--n N | --m M) [--out FILE] [--strict-ie] "
       "[--synced] [--trials T] [--budget SECONDS] [--aqft K] [--cnot-basis] "
-      "[--quiet]\n       %s --list\n",
-      argv0, argv0);
+      "[--quiet]\n       %s --serve [--threads T] [--cache-entries N]\n"
+      "       %s --list\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -52,7 +61,8 @@ int main(int argc, char** argv) {
   std::string arch, out_path;
   std::int32_t n = -1, m = -1, aqft = -1;
   MapOptions opts;
-  bool cnot_basis = false, quiet = false;
+  bool cnot_basis = false, quiet = false, serve = false;
+  MappingService::Options service_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -62,6 +72,17 @@ int main(int argc, char** argv) {
     };
     if (a == "--list") {
       return list_engines();
+    } else if (a == "--serve") {
+      serve = true;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      service_opts.num_threads = std::atoi(v);
+    } else if (a == "--cache-entries") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      service_opts.cache_capacity =
+          static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--arch") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -102,6 +123,10 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+  if (serve) {
+    MappingService service(service_opts);
+    return run_serve_loop(std::cin, std::cout, service);
   }
   if (arch.empty()) return usage(argv[0]);
   if (n <= 0 && m > 0) n = m * m;  // square backends take --m for convenience

@@ -224,6 +224,10 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
   WallTimer timer;
   Deadline deadline(opts.time_budget_seconds);
   SatmapResult result;
+  const auto cancelled = [&]() {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_relaxed);
+  };
 
   // Depth lower bound: critical path of the strict DAG.
   const Dag dag = build_strict_dag(logical);
@@ -236,6 +240,10 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
   for (auto c : cp) lower = std::max(lower, c);
 
   for (std::int32_t layers = lower; layers <= opts.max_layers; ++layers) {
+    if (cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     if (deadline.expired()) {
       result.timed_out = true;
       break;
@@ -249,9 +257,14 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
       result.timed_out = true;
       break;
     }
-    const Result r = solver.solve(remaining);
+    const Result r = solver.solve(remaining, opts.cancel);
     if (r == Result::kTimeout) {
-      result.timed_out = true;
+      // The solver reports kTimeout for both outcomes; the flag says which.
+      if (cancelled()) {
+        result.cancelled = true;
+      } else {
+        result.timed_out = true;
+      }
       break;
     }
     if (r == Result::kUnsat) continue;
@@ -262,13 +275,13 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
 
     if (opts.minimize_swaps) {
       std::int64_t budget = best.swaps - 1;
-      while (budget >= 0 && !deadline.expired()) {
+      while (budget >= 0 && !deadline.expired() && !cancelled()) {
         Solver s2;
         const Encoding enc2 =
             build(s2, logical, g, layers, static_cast<std::int32_t>(budget));
         const double rem2 = deadline.remaining_seconds();
         if (rem2 <= 0.0) break;  // keep the depth-minimal schedule found
-        const Result r2 = s2.solve(rem2);
+        const Result r2 = s2.solve(rem2, opts.cancel);
         if (r2 != Result::kSat) break;
         best = extract(s2, enc2, logical, g, layers);
         budget = best.swaps - 1;
@@ -278,7 +291,9 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
     result.swaps = best.swaps;
     break;
   }
-  if (!result.solved && !result.timed_out) result.timed_out = true;
+  if (!result.solved && !result.timed_out && !result.cancelled) {
+    result.timed_out = true;
+  }
   result.seconds = timer.seconds();
   return result;
 }

@@ -9,6 +9,8 @@
 // is part of what we reproduce.
 #pragma once
 
+#include <atomic>
+
 #include "arch/coupling_graph.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/mapped_circuit.hpp"
@@ -19,11 +21,18 @@ struct SatmapOptions {
   double time_budget_seconds = 10.0;  // paper used 2h; scaled for CI
   std::int32_t max_layers = 96;
   bool minimize_swaps = true;
+
+  /// Cooperative cancellation: when non-null, satmap_route polls the flag
+  /// between deepening layers and the CDCL solver polls it inside the search
+  /// loop, so another thread flipping it true aborts the run within a few
+  /// thousand decisions. Must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SatmapResult {
   bool solved = false;     // found a provably depth-minimal schedule
   bool timed_out = false;  // TLE (the Table 1 outcome for >= 10 qubits)
+  bool cancelled = false;  // SatmapOptions::cancel flipped mid-solve
   MappedCircuit mapped;    // valid when solved
   std::int32_t layers = 0;
   std::int64_t swaps = 0;

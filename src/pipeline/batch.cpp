@@ -1,9 +1,9 @@
 #include "pipeline/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
+#include <optional>
+
+#include "service/mapping_service.hpp"
 
 namespace qfto {
 
@@ -13,39 +13,56 @@ std::vector<BatchItem> map_qft_batch(const std::vector<BatchRequest>& requests,
   std::vector<BatchItem> items(requests.size());
   if (requests.empty()) return items;
 
-  if (num_threads <= 0) {
-    num_threads = static_cast<std::int32_t>(
-        std::max(1u, std::thread::hardware_concurrency()));
+  // The shared service owns the persistent worker pool — no per-call thread
+  // spawn/join. A caller-supplied registry cannot ride that pool (it is
+  // bound to the global pipeline), so it gets a service scoped to the call:
+  // same code path, private workers.
+  std::optional<MappingService> local;
+  MappingService* service;
+  if (&pipeline == &MapperPipeline::global()) {
+    service = &MappingService::shared();
+  } else {
+    MappingService::Options options;
+    options.num_threads = num_threads;
+    local.emplace(options, pipeline);
+    service = &*local;
   }
-  num_threads = std::min<std::int32_t>(
-      num_threads, static_cast<std::int32_t>(requests.size()));
 
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < requests.size();
-         i = next.fetch_add(1)) {
-      const BatchRequest& req = requests[i];
-      try {
-        items[i].result = pipeline.run(req.engine, req.n, req.options);
-        items[i].ok = true;
-      } catch (const std::exception& e) {
-        items[i].error = e.what();
-      } catch (...) {
-        // Exceptions may not escape the worker thread (std::terminate);
-        // custom engines are not bound to std::exception.
-        items[i].error = "unknown error";
-      }
+  // `num_threads` keeps its historic meaning as the concurrency bound: at
+  // most that many requests are in flight at once (windowed submission over
+  // the pool). Collection order is request order, which also makes the
+  // oldest handle the natural one to wait on.
+  const std::size_t window =
+      num_threads <= 0 ? requests.size()
+                       : static_cast<std::size_t>(num_threads);
+  std::vector<JobHandle> handles(requests.size());
+  std::size_t submitted = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    while (submitted < requests.size() && submitted - i < window) {
+      handles[submitted] = service->submit(requests[submitted]);
+      ++submitted;
     }
-  };
-
-  if (num_threads == 1) {
-    worker();
-    return items;
+    JobResult outcome = handles[i].wait();
+    if (outcome.ok()) {
+      items[i].ok = true;
+      // A cache hit aliases the shared cache entry and must be copied out,
+      // but a miss is owned solely by this batch's private job (the cache
+      // keeps its own normalized copy, never this object): the only two
+      // references are `outcome.result` and the job state behind our local
+      // handle, so moving out skips a potentially multi-megabyte deep copy
+      // per item.
+      if (!outcome.result->cache_hit && outcome.result.use_count() == 2) {
+        items[i].result =
+            std::move(const_cast<MapResult&>(*outcome.result));
+      } else {
+        items[i].result = *outcome.result;
+      }
+    } else {
+      // Engine failures were exceptions in the thread-pool era; the service
+      // captures them per job, so the error text flows through unchanged.
+      items[i].error = outcome.error.empty() ? "unknown error" : outcome.error;
+    }
   }
-  std::vector<std::thread> pool;
-  pool.reserve(num_threads);
-  for (std::int32_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
   return items;
 }
 

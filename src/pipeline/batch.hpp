@@ -1,7 +1,8 @@
 // Parallel batch mapping over the MapperPipeline: compile many (engine, n)
-// requests concurrently on a bounded thread pool. Engines are stateless and
-// every run builds its own graph, so requests never share mutable state —
-// this is the seam the ROADMAP's batch-service direction grows from.
+// requests concurrently. Since the service PR this is a thin driver over
+// MappingService::shared() — the persistent worker pool — instead of
+// spawning and joining a fresh std::thread pool per call; repeated
+// deterministic requests are served from the service's ResultCache.
 #pragma once
 
 #include <string>
@@ -27,6 +28,8 @@ struct BatchItem {
 
 /// Runs every request through `pipeline`, `num_threads` at a time
 /// (0 = hardware concurrency). Results are returned in request order.
+/// Requests ride the shared MappingService pool (no per-call thread spawn);
+/// a non-global `pipeline` gets a service scoped to the call.
 std::vector<BatchItem> map_qft_batch(
     const std::vector<BatchRequest>& requests, std::int32_t num_threads = 0,
     const MapperPipeline& pipeline = MapperPipeline::global());

@@ -189,13 +189,31 @@ class SatmapEngine final : public MapperEngine {
   std::string description() const override {
     return "SATMAP optimal SAT router (MICRO'22 baseline; TLE beyond ~10q)";
   }
+  bool deterministic() const override {
+    // Solved-vs-TLE depends on wall-clock load, so identical requests may
+    // legitimately differ run to run — never serve SATMAP from the cache.
+    return false;
+  }
   CouplingGraph build_graph(std::int32_t n,
                             const MapOptions& opts) const override {
     return routed_target(n, opts, "satmap");
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph& g,
                     const MapOptions& opts) const override {
-    const SatmapResult result = satmap_route(qft_logical(n), g, opts.satmap);
+    // Serving hooks: a deadlined job hands SATMAP only the remaining budget
+    // (so it TLEs inside the deadline), and the cancel token reaches the
+    // CDCL search loop for mid-solve abort.
+    SatmapOptions sopts = opts.satmap;
+    sopts.cancel = opts.cancel;
+    if (opts.deadline_seconds > 0.0 &&
+        (sopts.time_budget_seconds <= 0.0 ||
+         opts.deadline_seconds < sopts.time_budget_seconds)) {
+      sopts.time_budget_seconds = opts.deadline_seconds;
+    }
+    const SatmapResult result = satmap_route(qft_logical(n), g, sopts);
+    if (result.cancelled) {
+      throw MapCancelled(false, "satmap: cancelled mid-solve");
+    }
     if (!result.solved) {
       throw std::runtime_error(
           result.timed_out

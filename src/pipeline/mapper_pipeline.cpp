@@ -53,15 +53,34 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   require(n <= 16'777'216, "MapperPipeline::run: n too large");
   const MapperEngine& engine = at(engine_name);
 
+  // Serving checks: between stages the run honours the cooperative cancel
+  // token and the per-run deadline. Analytical engines finish a stage in
+  // microseconds-to-milliseconds, so stage granularity bounds cancel
+  // latency; SATMAP additionally polls the token mid-solve.
+  Deadline deadline(opts.deadline_seconds);
+  const auto ensure_live = [&](const char* stage) {
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      throw MapCancelled(false, std::string("cancelled before ") + stage);
+    }
+    if (opts.deadline_seconds > 0.0 && deadline.expired()) {
+      throw MapCancelled(true,
+                         std::string("deadline exceeded before ") + stage);
+    }
+  };
+
   MapResult result;
   result.engine = engine.name();
   result.requested_n = n;
   result.n = engine.native_size(n);
+  ensure_live("graph build");
   result.graph = engine.build_graph(result.n, opts);
+  ensure_live("map");
 
   WallTimer timer;
   result.mapped = engine.map(result.n, result.graph, opts);
   result.timings.map_seconds = timer.seconds();
+  ensure_live("verify");
 
   if (opts.verify) {
     timer.reset();

@@ -14,8 +14,10 @@
 // target graph via MapOptions::target.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,36 @@ struct MapOptions {
   /// check, schedule and count walks. Results are bit-identical; the flag
   /// exists so the two paths stay comparable in tests and benchmarks.
   bool incremental_verify = true;
+
+  // ------------------------------------------------------- serving knobs --
+  // Not part of the result-cache fingerprint: they shape how a run is
+  // executed, never what it produces.
+
+  /// Cooperative cancellation: when non-null and flipped true by another
+  /// thread, the run aborts with MapCancelled — between pipeline stages for
+  /// the analytical engines (graph build / map / verify), and mid-solve for
+  /// SATMAP (the flag is forwarded into the CDCL search loop). Must outlive
+  /// the call. The MappingService installs its per-job token here.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Wall-clock budget for this run (<= 0: none). Checked between pipeline
+  /// stages; SATMAP additionally clamps SatmapOptions::time_budget_seconds
+  /// to the remaining budget so a deadlined job TLEs inside it. Expiry
+  /// throws MapCancelled with deadline_expired() == true.
+  double deadline_seconds = 0.0;
+};
+
+/// Thrown by MapperPipeline::run when MapOptions::cancel flips mid-run or
+/// MapOptions::deadline_seconds is exhausted. The service layer maps it to
+/// the job's terminal status (cancelled vs expired).
+class MapCancelled : public std::runtime_error {
+ public:
+  MapCancelled(bool deadline_expired, const std::string& what)
+      : std::runtime_error(what), deadline_expired_(deadline_expired) {}
+  bool deadline_expired() const { return deadline_expired_; }
+
+ private:
+  bool deadline_expired_;
 };
 
 struct MapTimings {
@@ -70,6 +102,9 @@ struct MapResult {
   CouplingGraph graph;   // coupling graph `mapped` is valid on
   QftCheckResult check;  // empty unless MapOptions::verify
   MapTimings timings;
+  /// True when the MappingService served this result from its ResultCache —
+  /// bit-identical to a fresh run, with timings zeroed (no work was done).
+  bool cache_hit = false;
 };
 
 /// One mapping engine behind the facade. Implementations are stateless and
@@ -84,6 +119,12 @@ class MapperEngine {
 
   /// One-line human description for `--list-engines` style output.
   virtual std::string description() const = 0;
+
+  /// True when identical (native n, MapOptions) requests produce identical
+  /// results — the precondition for serving this engine from the
+  /// ResultCache. The analytical mappers and seeded SABRE qualify; SATMAP
+  /// does not (its TLE-vs-solved outcome depends on wall-clock load).
+  virtual bool deterministic() const { return true; }
 
   /// Smallest engine-feasible size >= n (sycamore/lattice round up to a
   /// square, heavy_hex to a multiple of five).

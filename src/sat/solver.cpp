@@ -251,9 +251,14 @@ std::int64_t Solver::luby(std::int64_t i) {
   return 1ll << (k - 1);
 }
 
-Result Solver::solve(double budget_seconds) {
+Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
   if (unsat_) return Result::kUnsat;
   Deadline deadline(budget_seconds);
+  const auto out_of_time = [&]() {
+    return (cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+           deadline.expired();
+  };
+  if (out_of_time()) return Result::kTimeout;
   if (propagate() >= 0) return Result::kUnsat;
 
   std::int64_t restart_idx = 0;
@@ -286,7 +291,7 @@ Result Solver::solve(double budget_seconds) {
         rebuild_order();
         if (conflicts_ % 4096 == 0) reduce_learnts();
       }
-      if ((conflicts_ & 255) == 0 && deadline.expired()) {
+      if ((conflicts_ & 255) == 0 && out_of_time()) {
         return Result::kTimeout;
       }
     } else {
@@ -296,7 +301,7 @@ Result Solver::solve(double budget_seconds) {
       trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
       enqueue(next, -1);
       if ((decisions_ & 1023) == 0) {
-        if (deadline.expired()) return Result::kTimeout;
+        if (out_of_time()) return Result::kTimeout;
         rebuild_order();
       }
     }

@@ -7,6 +7,7 @@
 // outcomes at friendlier time scales.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -46,8 +47,13 @@ class Solver {
   /// a -> b.
   void add_implication(Lit a, Lit b) { add_clause({~a, b}); }
 
-  /// Solves with an optional wall-clock budget (<=0: unlimited).
-  Result solve(double budget_seconds = 0.0);
+  /// Solves with an optional wall-clock budget (<=0: unlimited). `cancel`,
+  /// when non-null, is polled at the same cadence as the deadline: another
+  /// thread flipping it true makes solve() return kTimeout within a few
+  /// thousand decisions — the cooperative-cancellation hook the mapping
+  /// service uses to abort in-flight SATMAP jobs.
+  Result solve(double budget_seconds = 0.0,
+               const std::atomic<bool>* cancel = nullptr);
 
   /// Model access after kSat.
   bool value(std::int32_t var) const;

@@ -1,0 +1,344 @@
+#include "service/mapping_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace qfto {
+
+namespace detail {
+
+struct JobState {
+  // Immutable after submit().
+  BatchRequest request;
+  std::int32_t priority = 0;
+  std::int64_t sequence = 0;
+  bool use_cache = true;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::chrono::steady_clock::time_point submitted{};
+
+  /// The cooperative token the pipeline and SATMAP poll; flipped by
+  /// JobHandle::cancel() and by service shutdown.
+  std::atomic<bool> cancel{false};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  std::string error;
+  std::shared_ptr<const MapResult> result;
+  double queue_seconds = 0.0;
+  std::int64_t dispatch_index = -1;
+};
+
+namespace {
+
+bool terminal(JobStatus s) {
+  return s != JobStatus::kQueued && s != JobStatus::kRunning;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+JobResult snapshot_locked(const JobState& s) {
+  JobResult r;
+  r.status = s.status;
+  r.error = s.error;
+  r.result = s.result;
+  r.queue_seconds = s.queue_seconds;
+  r.dispatch_index = s.dispatch_index;
+  return r;
+}
+
+/// Terminal transition + waiter wake-up.
+void finish(JobState& s, JobStatus status, std::string error,
+            std::shared_ptr<const MapResult> result) {
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.status = status;
+  s.error = std::move(error);
+  s.result = std::move(result);
+  s.cv.notify_all();
+}
+
+/// Max-heap order: higher priority first, FIFO within a priority level.
+bool pops_later(const std::shared_ptr<JobState>& a,
+                const std::shared_ptr<JobState>& b) {
+  if (a->priority != b->priority) return a->priority < b->priority;
+  return a->sequence > b->sequence;
+}
+
+}  // namespace
+}  // namespace detail
+
+// ------------------------------------------------------------- JobHandle --
+
+JobStatus JobHandle::status() const {
+  require(valid(), "JobHandle::status: empty handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+JobResult JobHandle::wait() const {
+  require(valid(), "JobHandle::wait: empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return detail::terminal(state_->status); });
+  return detail::snapshot_locked(*state_);
+}
+
+std::optional<JobResult> JobHandle::wait_for(double seconds) const {
+  require(valid(), "JobHandle::wait_for: empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  const bool done = state_->cv.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [&] { return detail::terminal(state_->status); });
+  if (!done) return std::nullopt;
+  return detail::snapshot_locked(*state_);
+}
+
+std::optional<JobResult> JobHandle::try_get() const {
+  require(valid(), "JobHandle::try_get: empty handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!detail::terminal(state_->status)) return std::nullopt;
+  return detail::snapshot_locked(*state_);
+}
+
+bool JobHandle::cancel() const {
+  require(valid(), "JobHandle::cancel: empty handle");
+  detail::JobState& s = *state_;
+  s.cancel.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (detail::terminal(s.status)) return false;
+  if (s.status == JobStatus::kQueued) {
+    // Retire immediately: no worker time is spent and waiters wake now. The
+    // worker that eventually pops this entry sees a terminal status and
+    // skips it.
+    s.status = JobStatus::kCancelled;
+    s.error = "cancelled before start";
+    s.queue_seconds =
+        detail::seconds_since(s.submitted, std::chrono::steady_clock::now());
+    s.cv.notify_all();
+    return true;
+  }
+  // kRunning: the token is set; the pipeline aborts between stages, SATMAP
+  // mid-solve.
+  return true;
+}
+
+// -------------------------------------------------------- MappingService --
+
+MappingService::MappingService(Options options, const MapperPipeline& pipeline)
+    : pipeline_(&pipeline),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(&detail::pops_later) {
+  std::int32_t threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<std::int32_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(threads);
+  for (std::int32_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MappingService::MappingService() : MappingService(Options{}) {}
+
+MappingService::~MappingService() {
+  std::vector<std::shared_ptr<detail::JobState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    while (!queue_.empty()) {
+      orphans.push_back(queue_.top());
+      queue_.pop();
+    }
+    // In-flight jobs cancel cooperatively — shutdown must not wait out a
+    // SATMAP solver budget; the worker reports them kCancelled itself.
+    for (auto& job : running_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& job : orphans) {
+    job->cancel.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (!detail::terminal(job->status)) {
+      job->status = JobStatus::kCancelled;
+      job->error = "service shutting down";
+      job->cv.notify_all();
+    }
+  }
+  for (auto& worker : workers_) worker.join();
+}
+
+JobHandle MappingService::submit(BatchRequest request) {
+  return submit(std::move(request), Submit{});
+}
+
+JobHandle MappingService::submit(BatchRequest request, Submit submit) {
+  auto state = std::make_shared<detail::JobState>();
+  state->request = std::move(request);
+  state->priority = submit.priority;
+  state->use_cache = submit.use_cache;
+  state->submitted = std::chrono::steady_clock::now();
+  // NaN and +inf mean "no deadline"; finite budgets are capped so the
+  // duration_cast below cannot overflow the clock's integer representation
+  // (1e9 s ≈ 31 years is already "never" for a mapping job).
+  if (submit.deadline_seconds > 0.0 && std::isfinite(submit.deadline_seconds)) {
+    state->has_deadline = true;
+    const double capped = std::min(submit.deadline_seconds, 1.0e9);
+    state->deadline =
+        state->submitted + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(capped));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      std::lock_guard<std::mutex> job_lock(state->mutex);
+      state->status = JobStatus::kCancelled;
+      state->error = "service shutting down";
+      return JobHandle(std::move(state));
+    }
+    state->sequence = next_sequence_++;
+    queue_.push(state);
+  }
+  queue_cv_.notify_one();
+  return JobHandle(std::move(state));
+}
+
+void MappingService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = queue_.top();
+      queue_.pop();
+      if (stopping_) job->cancel.store(true, std::memory_order_relaxed);
+      running_.push_back(job);
+    }
+    process(job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto it = running_.begin(); it != running_.end(); ++it) {
+        if (it->get() == job.get()) {
+          running_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MappingService::process(const std::shared_ptr<detail::JobState>& job) {
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (detail::terminal(job->status)) return;  // cancelled while queued
+    job->queue_seconds = detail::seconds_since(job->submitted, now);
+    if (job->has_deadline && now >= job->deadline) {
+      job->status = JobStatus::kExpired;
+      job->error = "deadline exceeded before start (queued " +
+                   std::to_string(job->queue_seconds) + " s)";
+      job->cv.notify_all();
+      return;
+    }
+    job->status = JobStatus::kRunning;
+    job->dispatch_index = next_dispatch_.fetch_add(1);
+  }
+
+  const BatchRequest& req = job->request;
+
+  // Cache probe: deterministic engine, no caller-owned target, and n inside
+  // run()'s accepted range — native_size on an unvalidated huge n could
+  // overflow int32 before run() gets to reject it, so out-of-range sizes
+  // skip the probe and fall through for the real error.
+  std::string key;
+  if (job->use_cache && cache_.capacity() > 0 && req.n >= 1 &&
+      req.n <= 16'777'216) {
+    if (const MapperEngine* engine = pipeline_->find(req.engine)) {
+      if (ResultCache::cacheable(*engine, req.options)) {
+        key = ResultCache::key(req.engine, engine->native_size(req.n),
+                               req.options);
+        if (auto cached = cache_.get(key)) {
+          // Entries are stored pre-normalized (zero timings, cache_hit set,
+          // requested_n = native n), so the common exact-native hit shares
+          // the immutable cached object with no copy at all — the hit path
+          // must not pay a deep copy of a million-gate circuit. Only a
+          // snapped request needs a copy to echo its own requested size.
+          std::shared_ptr<const MapResult> served;
+          if (cached->requested_n == req.n) {
+            served = std::move(cached);
+          } else {
+            auto snapped = std::make_shared<MapResult>(*cached);
+            snapped->requested_n = req.n;
+            served = std::move(snapped);
+          }
+          detail::finish(*job, JobStatus::kDone, {}, std::move(served));
+          return;
+        }
+      }
+    }
+  }
+
+  MapOptions run_opts = req.options;
+  run_opts.cancel = &job->cancel;
+  if (job->has_deadline) {
+    run_opts.deadline_seconds = detail::seconds_since(
+        std::chrono::steady_clock::now(), job->deadline);
+    if (run_opts.deadline_seconds <= 0.0) {
+      detail::finish(*job, JobStatus::kExpired,
+                     "deadline exceeded before start", nullptr);
+      return;
+    }
+  }
+
+  try {
+    MapResult result = pipeline_->run(req.engine, req.n, run_opts);
+    result.cache_hit = false;
+    // Allocated non-const (then viewed as const) so a sole-owner consumer
+    // like map_qft_batch may legally move the payload out.
+    std::shared_ptr<const MapResult> shared =
+        std::make_shared<MapResult>(std::move(result));
+    if (!key.empty()) {
+      // One normalization copy per insertion buys copy-free hits forever.
+      auto normalized = std::make_shared<MapResult>(*shared);
+      normalized->requested_n = normalized->n;
+      normalized->timings = MapTimings{};
+      normalized->cache_hit = true;
+      cache_.put(key, std::move(normalized));
+    }
+    detail::finish(*job, JobStatus::kDone, {}, std::move(shared));
+  } catch (const MapCancelled& e) {
+    detail::finish(*job,
+                   e.deadline_expired() ? JobStatus::kExpired
+                                        : JobStatus::kCancelled,
+                   e.what(), nullptr);
+  } catch (const std::exception& e) {
+    // A SATMAP TLE caused by the deadline clamp surfaces as a runtime_error;
+    // if the job's deadline has meanwhile passed, report it as the deadline
+    // outcome the caller asked for.
+    if (job->has_deadline &&
+        std::chrono::steady_clock::now() >= job->deadline) {
+      detail::finish(*job, JobStatus::kExpired,
+                     std::string("deadline exceeded: ") + e.what(), nullptr);
+    } else {
+      detail::finish(*job, JobStatus::kFailed, e.what(), nullptr);
+    }
+  } catch (...) {
+    detail::finish(*job, JobStatus::kFailed, "unknown error", nullptr);
+  }
+}
+
+MappingService& MappingService::shared() {
+  static MappingService service{Options{}};
+  return service;
+}
+
+}  // namespace qfto

@@ -1,0 +1,170 @@
+// Async mapping service — the ROADMAP's north-star serving path. A
+// MappingService owns a persistent worker pool and a priority job queue in
+// front of the MapperPipeline registry: submit() returns a JobHandle
+// supporting wait / try_get / cancel and per-job deadlines, and a sharded
+// LRU ResultCache serves repeated deterministic requests bit-identically at
+// zero cost. map_qft_batch and the `qftmap --serve` front-end are thin
+// drivers over this class.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/batch.hpp"
+#include "pipeline/mapper_pipeline.hpp"
+#include "service/result_cache.hpp"
+
+namespace qfto {
+
+enum class JobStatus {
+  kQueued,    // waiting for a worker
+  kRunning,   // a worker is executing it
+  kDone,      // result available
+  kCancelled, // cancel() won (before start or mid-run)
+  kExpired,   // the per-job deadline won
+  kFailed,    // the engine threw (unknown engine, SATMAP TLE, bad target)
+};
+
+/// Terminal outcome visible through a JobHandle.
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  std::string error;  // empty iff kDone
+  /// The mapped result (shared with the cache when the request was
+  /// cacheable). Null unless kDone.
+  std::shared_ptr<const MapResult> result;
+  /// Seconds the job sat in the queue before a worker picked it up (or
+  /// before it was cancelled/expired without running).
+  double queue_seconds = 0.0;
+  /// Order in which the service started running jobs (0, 1, ...); -1 when
+  /// the job never ran. Exposes scheduling order to tests and benchmarks.
+  std::int64_t dispatch_index = -1;
+
+  bool ok() const { return status == JobStatus::kDone; }
+};
+
+namespace detail {
+struct JobState;
+}  // namespace detail
+
+/// Future-like handle to a submitted job. Copyable; all copies observe the
+/// same job. A default-constructed handle is empty (valid() == false).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  JobStatus status() const;
+
+  /// Blocks until the job reaches a terminal status and returns the outcome.
+  JobResult wait() const;
+
+  /// wait() with a timeout; nullopt when the job is still queued/running
+  /// after `seconds`.
+  std::optional<JobResult> wait_for(double seconds) const;
+
+  /// Non-blocking: the outcome when terminal, nullopt otherwise.
+  std::optional<JobResult> try_get() const;
+
+  /// Requests cancellation. A queued job is retired immediately (waiters
+  /// wake with kCancelled, no worker time is spent); a running job is
+  /// cancelled cooperatively — analytical engines abort between pipeline
+  /// stages, SATMAP aborts mid-solve. Returns false when the job had
+  /// already reached a terminal status.
+  bool cancel() const;
+
+ private:
+  friend class MappingService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+class MappingService {
+ public:
+  struct Options {
+    /// Worker threads (0 = hardware concurrency).
+    std::int32_t num_threads = 0;
+    /// Total ResultCache entries (0 disables caching).
+    std::size_t cache_capacity = 1024;
+    std::size_t cache_shards = 8;
+  };
+
+  struct Submit {
+    /// Higher runs first; FIFO within a priority level.
+    std::int32_t priority = 0;
+    /// Wall-clock budget from submission to completion (<= 0: none). An
+    /// expired job fails with a "deadline exceeded" error; SATMAP jobs
+    /// receive only the remaining budget as their solver budget.
+    double deadline_seconds = 0.0;
+    /// Consult/populate the ResultCache (deterministic engines only).
+    bool use_cache = true;
+  };
+
+  /// The pipeline must outlive the service. Workers start immediately and
+  /// idle on the queue's condition variable until jobs arrive. (The
+  /// zero-argument overload stands in for an `Options{}` default argument,
+  /// which GCC rejects on nested aggregates with member initializers.)
+  explicit MappingService(Options options,
+                          const MapperPipeline& pipeline =
+                              MapperPipeline::global());
+  MappingService();
+
+  /// Drains on destruction: queued jobs are retired as kCancelled, running
+  /// jobs get their cancel token flipped, and all workers are joined.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Enqueues `request` and returns its handle. The request is copied;
+  /// MapOptions::target, if set, must outlive the job. MapOptions::cancel
+  /// is overridden by the job's own token — use JobHandle::cancel().
+  JobHandle submit(BatchRequest request, Submit submit);
+  JobHandle submit(BatchRequest request);
+
+  /// Process-wide service over MapperPipeline::global() with hardware
+  /// concurrency — the persistent pool behind map_qft_batch.
+  static MappingService& shared();
+
+  std::int32_t num_threads() const {
+    return static_cast<std::int32_t>(workers_.size());
+  }
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct QueueOrder;
+
+  void worker_loop();
+  void process(const std::shared_ptr<detail::JobState>& job);
+
+  const MapperPipeline* pipeline_;
+  ResultCache cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::priority_queue<std::shared_ptr<detail::JobState>,
+                      std::vector<std::shared_ptr<detail::JobState>>,
+                      bool (*)(const std::shared_ptr<detail::JobState>&,
+                               const std::shared_ptr<detail::JobState>&)>
+      queue_;
+  bool stopping_ = false;
+  std::int64_t next_sequence_ = 0;
+  std::atomic<std::int64_t> next_dispatch_{0};
+  /// Jobs currently on a worker (guarded by queue_mutex_); the destructor
+  /// flips their cancel tokens so shutdown does not wait out solver budgets.
+  std::vector<std::shared_ptr<detail::JobState>> running_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qfto

@@ -1,0 +1,136 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace qfto {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
+                                                         1, capacity)));
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
+                             const MapOptions& opts) {
+  std::string k;
+  k.reserve(engine.size() + 160);
+  k += engine;
+  k += '|';
+  k += std::to_string(native_n);
+  k += "|ie=";
+  k += opts.strict_ie ? '1' : '0';
+  k += "|po=";
+  k += std::to_string(opts.lattice_phase_offset);
+  k += "|tus=";
+  k += opts.transversal_unit_swap ? '1' : '0';
+  k += "|sabre=";
+  k += std::to_string(opts.sabre.seed);
+  k += ',';
+  k += std::to_string(opts.sabre.trials);
+  k += ',';
+  k += std::to_string(opts.sabre.bidirectional_passes);
+  k += ',';
+  append_double(k, opts.sabre.extended_weight);
+  k += ',';
+  k += std::to_string(opts.sabre.extended_size);
+  k += ',';
+  append_double(k, opts.sabre.decay_delta);
+  k += ',';
+  k += std::to_string(opts.sabre.decay_reset);
+  k += ',';
+  k += opts.sabre.use_relaxed_dag ? '1' : '0';
+  k += "|satmap=";
+  append_double(k, opts.satmap.time_budget_seconds);
+  k += ',';
+  k += std::to_string(opts.satmap.max_layers);
+  k += ',';
+  k += opts.satmap.minimize_swaps ? '1' : '0';
+  k += "|verify=";
+  k += opts.verify ? '1' : '0';
+  k += opts.incremental_verify ? '1' : '0';
+  return k;
+}
+
+bool ResultCache::cacheable(const MapperEngine& engine,
+                            const MapOptions& opts) {
+  return engine.deterministic() && opts.target == nullptr;
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const MapResult> ResultCache::get(const std::string& key) {
+  if (capacity_ == 0) return nullptr;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key,
+                      std::shared_ptr<const MapResult> value) {
+  if (capacity_ == 0 || value == nullptr) return;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->second = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(value));
+  s.index.emplace(key, s.lru.begin());
+  ++s.insertions;
+  while (s.lru.size() > per_shard_capacity_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+void ResultCache::clear() {
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    sp->lru.clear();
+    sp->index.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats total;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total.hits += sp->hits;
+    total.misses += sp->misses;
+    total.insertions += sp->insertions;
+    total.evictions += sp->evictions;
+    total.entries += sp->lru.size();
+  }
+  return total;
+}
+
+}  // namespace qfto

@@ -1,0 +1,79 @@
+// Sharded LRU cache of MapResults — the ROADMAP's "result caching /
+// memoization" item. The analytical mappers are deterministic, so a repeated
+// (engine, native n, option fingerprint) request can be served bit-identically
+// at zero cost; the MappingService consults this cache before dispatching a
+// job to the worker pool. Shards each carry their own mutex so concurrent
+// workers on different keys never contend on one lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/mapper_pipeline.hpp"
+
+namespace qfto {
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (0 disables the
+  /// cache: get() always misses, put() drops). `shards` is clamped to >= 1.
+  explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 8);
+
+  /// Canonical cache key: engine, *native* size, and every MapOptions field
+  /// that shapes the result. Serving knobs (cancel, deadline_seconds) and
+  /// `target` are excluded — keys are only built for cacheable requests.
+  static std::string key(const std::string& engine, std::int32_t native_n,
+                         const MapOptions& opts);
+
+  /// True when a request may be served from / stored into the cache: the
+  /// engine replays deterministically and no caller-owned target graph is
+  /// involved (a raw pointer cannot be fingerprinted safely).
+  static bool cacheable(const MapperEngine& engine, const MapOptions& opts);
+
+  /// Hit: the cached result, promoted to most-recently-used. Miss: nullptr.
+  std::shared_ptr<const MapResult> get(const std::string& key);
+
+  /// Inserts (or refreshes) `value`, evicting the shard's LRU tail when over
+  /// budget.
+  void put(const std::string& key, std::shared_ptr<const MapResult> value);
+
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  /// Aggregated over shards (each shard is locked in turn, so the totals are
+  /// a consistent-enough snapshot for monitoring, not a barrier).
+  Stats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    // MRU at front; map values point into the list.
+    std::list<std::pair<std::string, std::shared_ptr<const MapResult>>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qfto

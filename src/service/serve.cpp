@@ -1,0 +1,429 @@
+#include "service/serve.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace qfto {
+
+namespace {
+
+// ------------------------------------------------- minimal flat-JSON read --
+// The protocol needs exactly one shape — a single-level object with string,
+// number, bool and null values — so the parser is a few dozen lines instead
+// of a JSON library dependency.
+
+struct JsonValue {
+  enum Kind { kString, kNumber, kBool, kNull } kind = kNull;
+  std::string str;     // kString payload
+  double num = 0.0;    // kNumber payload
+  bool flag = false;   // kBool payload
+  std::string raw;     // verbatim token, used to echo `id` back
+};
+
+struct FlatJsonParser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  explicit FlatJsonParser(const std::string& s)
+      : p(s.data()), end(s.data() + s.size()) {}
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool fail(const std::string& what) {
+    error = what;
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return fail("dangling escape");
+        const char esc = *p++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          default: return fail("unsupported escape");  // incl. \uXXXX
+        }
+      }
+      out += c;
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p >= end) return fail("expected value");
+    const char* start = p;
+    if (*p == '"') {
+      out.kind = JsonValue::kString;
+      if (!parse_string(out.str)) return false;
+    } else if (std::strncmp(p, "true", 4) == 0 && end - p >= 4) {
+      out.kind = JsonValue::kBool;
+      out.flag = true;
+      p += 4;
+    } else if (std::strncmp(p, "false", 5) == 0 && end - p >= 5) {
+      out.kind = JsonValue::kBool;
+      out.flag = false;
+      p += 5;
+    } else if (std::strncmp(p, "null", 4) == 0 && end - p >= 4) {
+      out.kind = JsonValue::kNull;
+      p += 4;
+    } else {
+      char* num_end = nullptr;
+      out.num = std::strtod(p, &num_end);
+      if (num_end == p || num_end > end) return fail("expected value");
+      // 1e999 parses as inf; letting it through would feed non-finite
+      // deadlines/budgets into duration arithmetic (float-cast UB).
+      if (!std::isfinite(out.num)) return fail("non-finite number");
+      out.kind = JsonValue::kNumber;
+      p = num_end;
+    }
+    out.raw.assign(start, p);
+    return true;
+  }
+
+  bool parse_object(std::map<std::string, JsonValue>& out) {
+    skip_ws();
+    if (p >= end || *p != '{') return fail("expected '{'");
+    ++p;
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+    } else {
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return fail("expected ':'");
+        ++p;
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        if (!out.emplace(std::move(key), std::move(value)).second) {
+          return fail("duplicate key");
+        }
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          break;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    skip_ws();
+    if (p != end) return fail("trailing content after object");
+    return true;
+  }
+};
+
+// ------------------------------------------------------------ JSON write --
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+const char* status_word(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kExpired: return "expired";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Integer field helper: the protocol's counts must be integral. Values
+/// outside the exact-double range are rejected *before* the cast — a
+/// hostile {"n": 1e19} must come back as an in-band error, not trip the
+/// float-cast-overflow UB the sanitizer leg aborts on.
+bool as_int(const JsonValue& v, std::int64_t& out) {
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (v.kind != JsonValue::kNumber) return false;
+  if (!(v.num >= -kExact && v.num <= kExact)) return false;
+  const auto i = static_cast<std::int64_t>(v.num);
+  if (static_cast<double>(i) != v.num) return false;
+  out = i;
+  return true;
+}
+
+}  // namespace
+
+ServeRequest parse_serve_request(const std::string& line) {
+  ServeRequest req;
+  std::map<std::string, JsonValue> fields;
+  FlatJsonParser parser(line);
+  if (!parser.parse_object(fields)) {
+    req.error = "parse error: " + parser.error;
+    return req;
+  }
+
+  // Resolve `id` first so every rejection below can still echo it.
+  if (const auto it = fields.find("id"); it != fields.end()) {
+    if (it->second.kind == JsonValue::kString) {
+      req.id = "\"" + json_escape(it->second.str) + "\"";
+    } else {
+      req.id = it->second.raw;
+    }
+  }
+
+  std::int64_t n = -1, m = -1;
+  for (const auto& [key, value] : fields) {
+    std::int64_t i = 0;
+    if (key == "id") {
+      // handled above
+    } else if (key == "engine") {
+      if (value.kind != JsonValue::kString) {
+        req.error = "\"engine\" must be a string";
+        return req;
+      }
+      req.request.engine = value.str;
+    } else if (key == "n") {
+      if (!as_int(value, n)) {
+        req.error = "\"n\" must be an integer";
+        return req;
+      }
+    } else if (key == "m") {
+      if (!as_int(value, m)) {
+        req.error = "\"m\" must be an integer";
+        return req;
+      }
+    } else if (key == "priority") {
+      if (!as_int(value, i) || i < INT32_MIN || i > INT32_MAX) {
+        req.error = "\"priority\" must be a 32-bit integer";
+        return req;
+      }
+      req.submit.priority = static_cast<std::int32_t>(i);
+    } else if (key == "deadline") {
+      if (value.kind != JsonValue::kNumber || value.num <= 0.0) {
+        req.error = "\"deadline\" must be a positive number of seconds";
+        return req;
+      }
+      req.submit.deadline_seconds = value.num;
+    } else if (key == "cache") {
+      if (value.kind != JsonValue::kBool) {
+        req.error = "\"cache\" must be a bool";
+        return req;
+      }
+      req.submit.use_cache = value.flag;
+    } else if (key == "verify") {
+      if (value.kind != JsonValue::kBool) {
+        req.error = "\"verify\" must be a bool";
+        return req;
+      }
+      req.request.options.verify = value.flag;
+    } else if (key == "strict_ie") {
+      if (value.kind != JsonValue::kBool) {
+        req.error = "\"strict_ie\" must be a bool";
+        return req;
+      }
+      req.request.options.strict_ie = value.flag;
+    } else if (key == "synced") {
+      if (value.kind != JsonValue::kBool) {
+        req.error = "\"synced\" must be a bool";
+        return req;
+      }
+      if (value.flag) req.request.options.lattice_phase_offset = 0;
+    } else if (key == "trials") {
+      if (!as_int(value, i) || i < 1 || i > INT32_MAX) {
+        req.error = "\"trials\" must be a positive 32-bit integer";
+        return req;
+      }
+      req.request.options.sabre.trials = static_cast<std::int32_t>(i);
+    } else if (key == "seed") {
+      if (!as_int(value, i) || i < 0) {
+        req.error = "\"seed\" must be a non-negative integer";
+        return req;
+      }
+      req.request.options.sabre.seed = static_cast<std::uint64_t>(i);
+    } else if (key == "budget") {
+      if (value.kind != JsonValue::kNumber || value.num <= 0.0) {
+        req.error = "\"budget\" must be a positive number of seconds";
+        return req;
+      }
+      req.request.options.satmap.time_budget_seconds = value.num;
+    } else {
+      req.error = "unknown field \"" + json_escape(key) + "\"";
+      return req;
+    }
+  }
+
+  if (req.request.engine.empty()) {
+    req.error = "missing \"engine\"";
+    return req;
+  }
+  if (m > 4096) {  // 4096^2 is already the n ceiling; also guards m*m
+    req.error = "\"m\" too large";
+    return req;
+  }
+  if (n < 0 && m > 0) n = m * m;  // square backends take m for convenience
+  if (n < 1) {
+    req.error = "missing or non-positive \"n\" (or \"m\")";
+    return req;
+  }
+  if (n > 16'777'216) {
+    req.error = "\"n\" too large";
+    return req;
+  }
+  req.request.n = static_cast<std::int32_t>(n);
+  req.ok = true;
+  return req;
+}
+
+std::string serve_response_json(const std::string& id, const JobResult& out) {
+  std::string s = "{\"id\":" + id;
+  if (!out.ok()) {
+    s += ",\"ok\":false,\"status\":\"";
+    s += status_word(out.status);
+    s += "\",\"error\":\"" + json_escape(out.error) + "\"}";
+    return s;
+  }
+  const MapResult& r = *out.result;
+  s += ",\"ok\":true,\"engine\":\"" + json_escape(r.engine) + "\"";
+  s += ",\"requested_n\":" + std::to_string(r.requested_n);
+  s += ",\"n\":" + std::to_string(r.n);
+  s += ",\"physical\":" + std::to_string(r.graph.num_qubits());
+  if (r.check.ok) {
+    s += ",\"depth\":" + std::to_string(r.check.depth);
+    s += ",\"h\":" + std::to_string(r.check.counts.h);
+    s += ",\"cphase\":" + std::to_string(r.check.counts.cphase);
+    s += ",\"swap\":" + std::to_string(r.check.counts.swap);
+    s += ",\"cnot\":" + std::to_string(r.check.counts.cnot);
+  }
+  s += ",\"cache_hit\":";
+  s += r.cache_hit ? "true" : "false";
+  s += ",\"map_seconds\":";
+  append_number(s, r.timings.map_seconds);
+  s += ",\"check_seconds\":";
+  append_number(s, r.timings.check_seconds);
+  s += ",\"queue_seconds\":";
+  append_number(s, out.queue_seconds);
+  s += "}";
+  return s;
+}
+
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   MappingService& service) {
+  // Reader/writer split: the reader blocks in getline while the writer
+  // emits each response — in request order, flushed per line — the moment
+  // its job finishes. A single-threaded loop could only emit on the next
+  // input line, deadlocking interactive clients that wait for a response
+  // before sending the next request.
+  struct Pending {
+    std::string id;
+    JobHandle handle;      // empty when `immediate` carries the response
+    std::string immediate; // pre-formatted response for rejected lines
+  };
+  constexpr std::size_t kMaxPending = 256;  // reader back-pressure bound
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool eof = false;
+
+  std::thread writer([&]() {
+    for (;;) {
+      Pending entry;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return eof || !pending.empty(); });
+        if (pending.empty()) return;  // eof and drained
+        entry = std::move(pending.front());
+        pending.pop_front();
+      }
+      cv.notify_all();  // reader may be waiting on the back-pressure bound
+      if (entry.handle.valid()) {
+        out << serve_response_json(entry.id, entry.handle.wait()) << '\n'
+            << std::flush;
+      } else {
+        out << entry.immediate << '\n' << std::flush;
+      }
+    }
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ServeRequest req = parse_serve_request(line);
+    Pending entry;
+    entry.id = req.id;
+    if (!req.ok) {
+      JobResult rejected;
+      rejected.status = JobStatus::kFailed;
+      rejected.error = req.error;
+      entry.immediate = serve_response_json(req.id, rejected);
+    } else {
+      entry.handle = service.submit(std::move(req.request), req.submit);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return pending.size() < kMaxPending; });
+      pending.push_back(std::move(entry));
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    eof = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return 0;
+}
+
+}  // namespace qfto

@@ -1,0 +1,61 @@
+// Long-running front-end for the MappingService: newline-delimited JSON
+// requests in, newline-delimited JSON responses out — scriptable from a
+// shell pipe and smokable in CI. One request per line:
+//
+//   {"id": 1, "engine": "lattice", "n": 100}
+//   {"id": "warm", "engine": "lattice", "n": 100}            -> cache_hit
+//   {"id": 2, "engine": "satmap", "n": 4, "deadline": 5.0}
+//   {"id": 3, "engine": "sycamore", "m": 6, "strict_ie": true,
+//    "priority": 10}
+//
+// Fields: `engine` (required), `n` or `m` (required; `m` means n = m*m),
+// `id` (number or string, echoed back; null when absent), `priority`
+// (higher first), `deadline` (seconds), `cache` (bool, default true),
+// `verify` (bool, default true), `strict_ie`, `synced`, `trials`, `seed`,
+// `budget` (SATMAP seconds). Unknown fields are an error, so typos fail
+// loudly instead of silently mapping with defaults.
+//
+// Responses stream in request order, each flushed as soon as its job
+// completes (jobs themselves run concurrently and may be reordered by
+// priority):
+//
+//   {"id":1,"ok":true,"engine":"lattice","requested_n":100,"n":100,
+//    "physical":100,"depth":419,"h":100,"cphase":4950,"swap":4851,
+//    "cnot":0,"cache_hit":false,"map_seconds":...,"check_seconds":...,
+//    "queue_seconds":...}
+//   {"id":2,"ok":false,"status":"expired","error":"deadline exceeded ..."}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/mapping_service.hpp"
+
+namespace qfto {
+
+/// One parsed request line. `ok` false means a parse/validation problem
+/// described in `error`; `id` is the raw JSON token to echo back ("null"
+/// when the line carried none).
+struct ServeRequest {
+  bool ok = false;
+  std::string error;
+  std::string id = "null";
+  BatchRequest request;
+  MappingService::Submit submit;
+};
+
+/// Parses one newline-delimited request. Exposed for tests; run_serve_loop
+/// is the consumer.
+ServeRequest parse_serve_request(const std::string& line);
+
+/// Formats the response line for a finished (or rejected) request.
+std::string serve_response_json(const std::string& id, const JobResult& out);
+
+/// Reads requests from `in` until EOF, submits each to `service`, and
+/// streams responses to `out` in request order (each flushed as its job
+/// completes). Blank lines are skipped. Returns 0; per-request failures are
+/// reported in-band as {"ok":false,...} responses.
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   MappingService& service);
+
+}  // namespace qfto

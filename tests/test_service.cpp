@@ -1,0 +1,567 @@
+// MappingService: queue/worker lifecycle, priority scheduling, pre-start and
+// mid-run (incl. mid-SATMAP) cancellation, per-job deadlines, ResultCache
+// bit-identity and fingerprint invalidation, and the --serve JSON protocol.
+// The concurrency here is what the CI TSan leg locks in.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/line.hpp"
+#include "common/timer.hpp"
+#include "mapper/lnn_mapper.hpp"
+#include "pipeline/batch.hpp"
+#include "pipeline/mapper_pipeline.hpp"
+#include "service/mapping_service.hpp"
+#include "service/result_cache.hpp"
+#include "service/serve.hpp"
+
+namespace qfto {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A controllable engine: maps QFT(n) on a line after napping in 1 ms slices,
+// honouring the cooperative cancel token the way a real long engine does.
+class SleeperEngine final : public MapperEngine {
+ public:
+  explicit SleeperEngine(double nap_seconds) : nap_seconds_(nap_seconds) {}
+  std::string name() const override { return "sleeper"; }
+  std::string description() const override { return "naps, then maps lnn"; }
+  bool deterministic() const override { return false; }  // keep out of cache
+  CouplingGraph build_graph(std::int32_t n,
+                            const MapOptions&) const override {
+    return make_line(n);
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions& opts) const override {
+    WallTimer timer;
+    while (timer.seconds() < nap_seconds_) {
+      if (opts.cancel != nullptr &&
+          opts.cancel->load(std::memory_order_relaxed)) {
+        throw MapCancelled(false, "sleeper: cancelled mid-map");
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    return map_qft_lnn(n);
+  }
+
+ private:
+  double nap_seconds_;
+};
+
+MapperPipeline pipeline_with_sleeper(double nap_seconds) {
+  MapperPipeline pipeline = MapperPipeline::with_paper_engines();
+  pipeline.register_engine(std::make_unique<SleeperEngine>(nap_seconds));
+  return pipeline;
+}
+
+MappingService::Options service_options(std::int32_t threads,
+                                        std::size_t cache_capacity = 1024) {
+  MappingService::Options options;
+  options.num_threads = threads;
+  options.cache_capacity = cache_capacity;
+  return options;
+}
+
+// --------------------------------------------------------------- plumbing --
+
+TEST(Service, SubmitWaitRoundTrip) {
+  MappingService service{service_options(2)};
+  const JobResult out = service.submit({"lnn", 12, MapOptions{}}).wait();
+  ASSERT_EQ(out.status, JobStatus::kDone) << out.error;
+  ASSERT_NE(out.result, nullptr);
+  EXPECT_TRUE(out.result->check.ok) << out.result->check.error;
+  EXPECT_EQ(out.result->n, 12);
+  EXPECT_GE(out.queue_seconds, 0.0);
+  EXPECT_GE(out.dispatch_index, 0);
+  EXPECT_TRUE(out.ok());
+}
+
+TEST(Service, EngineFailuresAreCapturedPerJob) {
+  MappingService service{service_options(2)};
+  const JobResult bad = service.submit({"nosuch", 8, MapOptions{}}).wait();
+  EXPECT_EQ(bad.status, JobStatus::kFailed);
+  EXPECT_NE(bad.error.find("unknown engine"), std::string::npos);
+  EXPECT_EQ(bad.result, nullptr);
+
+  MapOptions tle;
+  tle.satmap.time_budget_seconds = 1e-6;
+  const JobResult timeout = service.submit({"satmap", 8, tle}).wait();
+  EXPECT_EQ(timeout.status, JobStatus::kFailed);
+  EXPECT_NE(timeout.error.find("satmap"), std::string::npos);
+}
+
+TEST(Service, TryGetIsNonBlockingAndWaitForTimesOut) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.3);
+  MappingService service{service_options(1), pipeline};
+  JobHandle handle = service.submit({"sleeper", 4, MapOptions{}});
+  // The nap dwarfs the submit latency, so the job cannot be done yet.
+  EXPECT_FALSE(handle.try_get().has_value());
+  EXPECT_FALSE(handle.wait_for(0.01).has_value());
+  const JobResult out = handle.wait();
+  EXPECT_EQ(out.status, JobStatus::kDone) << out.error;
+  EXPECT_FALSE(handle.cancel()) << "terminal jobs are not cancellable";
+}
+
+// ----------------------------------------------------------- cancellation --
+
+TEST(Service, QueuedJobCancelsImmediatelyWithoutWorkerTime) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(1.0);
+  MappingService service{service_options(1), pipeline};
+  JobHandle blocker = service.submit({"sleeper", 4, MapOptions{}});
+  JobHandle queued = service.submit({"lnn", 8, MapOptions{}});
+
+  ASSERT_TRUE(queued.cancel());
+  // cancel() retires a queued job synchronously — no waiting on the blocker.
+  const std::optional<JobResult> out = queued.try_get();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, JobStatus::kCancelled);
+  EXPECT_NE(out->error.find("cancelled before start"), std::string::npos);
+  EXPECT_EQ(out->dispatch_index, -1) << "no worker may have run it";
+
+  ASSERT_TRUE(blocker.cancel());
+  EXPECT_EQ(blocker.wait().status, JobStatus::kCancelled);
+}
+
+TEST(Service, MidSatmapCancellationReturnsWithinBudget) {
+  // QFT-8 keeps SATMAP busy for seconds (iterative deepening, then swap
+  // minimization burns toward the budget). The token is polled inside the
+  // CDCL search and between solves, so cancelling the in-flight job must
+  // return in milliseconds — far inside the 60 s budget.
+  MappingService service{service_options(1)};
+  MapOptions opts;
+  opts.satmap.time_budget_seconds = 60.0;
+  JobHandle job = service.submit({"satmap", 8, opts});
+
+  WallTimer spin;
+  while (job.status() == JobStatus::kQueued && spin.seconds() < 10.0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(job.status(), JobStatus::kRunning);
+  std::this_thread::sleep_for(20ms);  // let it get into the solver
+
+  WallTimer timer;
+  ASSERT_TRUE(job.cancel());
+  const JobResult out = job.wait();
+  EXPECT_LT(timer.seconds(), 30.0) << "cancel must beat the 60 s budget";
+  EXPECT_EQ(out.status, JobStatus::kCancelled);
+  EXPECT_NE(out.error.find("cancel"), std::string::npos) << out.error;
+}
+
+// --------------------------------------------------------------- deadlines --
+
+TEST(Service, DeadlineExpiryInQueueReportsDeadlineExceeded) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.3);
+  MappingService service{service_options(1), pipeline};
+  JobHandle blocker = service.submit({"sleeper", 4, MapOptions{}});
+
+  MappingService::Submit submit;
+  submit.deadline_seconds = 0.02;  // expires while the blocker runs
+  const JobResult out =
+      service.submit({"lnn", 8, MapOptions{}}, submit).wait();
+  EXPECT_EQ(out.status, JobStatus::kExpired);
+  EXPECT_NE(out.error.find("deadline exceeded"), std::string::npos)
+      << out.error;
+  EXPECT_EQ(blocker.wait().status, JobStatus::kDone);
+}
+
+TEST(Service, DeadlineExpiryMidRunReportsDeadlineExceeded) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.25);
+  MappingService service{service_options(1), pipeline};
+  MappingService::Submit submit;
+  submit.deadline_seconds = 0.05;  // expires inside the sleeper's map stage
+  const JobResult out =
+      service.submit({"sleeper", 4, MapOptions{}}, submit).wait();
+  EXPECT_EQ(out.status, JobStatus::kExpired);
+  EXPECT_NE(out.error.find("deadline exceeded"), std::string::npos)
+      << out.error;
+}
+
+TEST(Service, SatmapDeadlineClampsTheSolverBudget) {
+  // The job-level deadline must reach SatmapOptions: under a 0.15 s
+  // deadline a 60 s solver budget either TLEs inside the clamp or gets cut
+  // off at the next pipeline stage — both surface as kExpired within
+  // seconds instead of running for a minute.
+  MappingService service{service_options(1)};
+  MapOptions opts;
+  opts.satmap.time_budget_seconds = 60.0;
+  MappingService::Submit submit;
+  submit.deadline_seconds = 0.15;
+  WallTimer timer;
+  const JobResult out = service.submit({"satmap", 8, opts}, submit).wait();
+  EXPECT_EQ(out.status, JobStatus::kExpired);
+  EXPECT_NE(out.error.find("deadline"), std::string::npos) << out.error;
+  EXPECT_LT(timer.seconds(), 30.0);
+}
+
+// ---------------------------------------------------------------- priority --
+
+TEST(Service, PriorityOrdersTheQueueFifoWithinLevel) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.4);
+  MappingService service{service_options(1), pipeline};
+  // The blocker must occupy the only worker before anything else is
+  // submitted, so the remaining jobs demonstrably reorder in the queue.
+  JobHandle blocker = service.submit({"sleeper", 4, MapOptions{}});
+  WallTimer spin;
+  while (blocker.status() == JobStatus::kQueued && spin.seconds() < 10.0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(blocker.status(), JobStatus::kRunning);
+
+  MappingService::Submit low, mid, top;
+  low.priority = 0;
+  mid.priority = 5;
+  top.priority = 10;
+  JobHandle a = service.submit({"lnn", 6, MapOptions{}}, low);
+  JobHandle b = service.submit({"lnn", 7, MapOptions{}}, mid);
+  JobHandle c = service.submit({"lnn", 9, MapOptions{}}, mid);
+  JobHandle d = service.submit({"lnn", 10, MapOptions{}}, top);
+
+  const JobResult rb = b.wait(), rc = c.wait(), rd = d.wait(),
+                  ra = a.wait(), rblock = blocker.wait();
+  ASSERT_TRUE(rblock.ok() && ra.ok() && rb.ok() && rc.ok() && rd.ok());
+  EXPECT_LT(rblock.dispatch_index, rd.dispatch_index);
+  EXPECT_LT(rd.dispatch_index, rb.dispatch_index) << "priority 10 before 5";
+  EXPECT_LT(rb.dispatch_index, rc.dispatch_index) << "FIFO within level";
+  EXPECT_LT(rc.dispatch_index, ra.dispatch_index) << "priority 5 before 0";
+}
+
+// ------------------------------------------------------------------- cache --
+
+TEST(Service, CacheHitIsBitIdenticalWithZeroMapTime) {
+  MappingService service{service_options(2)};
+  const JobResult cold = service.submit({"lattice", 10, MapOptions{}}).wait();
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_FALSE(cold.result->cache_hit);
+
+  const JobResult warm = service.submit({"lattice", 10, MapOptions{}}).wait();
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_TRUE(warm.result->cache_hit);
+  EXPECT_EQ(warm.result->timings.map_seconds, 0.0);
+  EXPECT_EQ(warm.result->timings.check_seconds, 0.0);
+
+  // Bit-identical to a fresh pipeline.run on every payload field.
+  const MapResult fresh = MapperPipeline::global().run("lattice", 10);
+  const MapResult& hit = *warm.result;
+  EXPECT_EQ(hit.engine, fresh.engine);
+  EXPECT_EQ(hit.requested_n, fresh.requested_n);
+  EXPECT_EQ(hit.n, fresh.n);
+  EXPECT_EQ(hit.mapped.circuit.to_string(), fresh.mapped.circuit.to_string());
+  EXPECT_EQ(hit.mapped.initial, fresh.mapped.initial);
+  EXPECT_EQ(hit.mapped.final_mapping, fresh.mapped.final_mapping);
+  EXPECT_EQ(hit.graph.name(), fresh.graph.name());
+  EXPECT_EQ(hit.graph.num_qubits(), fresh.graph.num_qubits());
+  EXPECT_EQ(hit.check.ok, fresh.check.ok);
+  EXPECT_EQ(hit.check.depth, fresh.check.depth);
+  EXPECT_EQ(hit.check.counts.h, fresh.check.counts.h);
+  EXPECT_EQ(hit.check.counts.cphase, fresh.check.counts.cphase);
+  EXPECT_EQ(hit.check.counts.swap, fresh.check.counts.swap);
+  EXPECT_EQ(hit.check.counts.cnot, fresh.check.counts.cnot);
+}
+
+TEST(Service, CacheKeyUsesNativeSizeButEchoesRequestedSize) {
+  MappingService service{service_options(2)};
+  // n=10 and n=16 both snap to the native 16 on the lattice engine: the
+  // second request must be a hit, yet echo its own requested size.
+  const JobResult first = service.submit({"lattice", 10, MapOptions{}}).wait();
+  ASSERT_TRUE(first.ok()) << first.error;
+  const JobResult second =
+      service.submit({"lattice", 16, MapOptions{}}).wait();
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.result->cache_hit);
+  EXPECT_EQ(second.result->requested_n, 16);
+  EXPECT_EQ(second.result->n, 16);
+}
+
+TEST(Service, CacheInvalidatedByAblationKnobs) {
+  MappingService service{service_options(2)};
+  MapOptions relaxed;
+  MapOptions strict;
+  strict.strict_ie = true;
+
+  const JobResult r1 = service.submit({"sycamore", 36, relaxed}).wait();
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  // Same engine and size, different ablation knob: must miss, and must map
+  // to the strict variant (observably deeper, per the §3.3 ablation).
+  const JobResult s1 = service.submit({"sycamore", 36, strict}).wait();
+  ASSERT_TRUE(s1.ok()) << s1.error;
+  EXPECT_FALSE(s1.result->cache_hit);
+  EXPECT_GT(s1.result->check.depth, r1.result->check.depth);
+
+  // Each variant now hits its own entry.
+  const JobResult r2 = service.submit({"sycamore", 36, relaxed}).wait();
+  const JobResult s2 = service.submit({"sycamore", 36, strict}).wait();
+  ASSERT_TRUE(r2.ok() && s2.ok());
+  EXPECT_TRUE(r2.result->cache_hit);
+  EXPECT_TRUE(s2.result->cache_hit);
+  EXPECT_EQ(r2.result->check.depth, r1.result->check.depth);
+  EXPECT_EQ(s2.result->check.depth, s1.result->check.depth);
+
+  const ResultCache::Stats stats = service.cache_stats();
+  EXPECT_GE(stats.entries, 2u) << "both variants live side by side";
+  EXPECT_GE(stats.hits, 2u);
+}
+
+TEST(Service, NonDeterministicAndTargetedRequestsAreNeverCached) {
+  MappingService service{service_options(2)};
+  MapOptions satmap_opts;
+  satmap_opts.satmap.time_budget_seconds = 60.0;
+  const JobResult a = service.submit({"satmap", 4, satmap_opts}).wait();
+  const JobResult b = service.submit({"satmap", 4, satmap_opts}).wait();
+  ASSERT_TRUE(a.ok() && b.ok()) << a.error << b.error;
+  EXPECT_FALSE(a.result->cache_hit);
+  EXPECT_FALSE(b.result->cache_hit) << "satmap is wall-clock dependent";
+
+  const CouplingGraph target = make_line(9);
+  MapOptions targeted;
+  targeted.sabre.trials = 1;
+  targeted.target = &target;
+  const JobResult t1 = service.submit({"sabre", 9, targeted}).wait();
+  const JobResult t2 = service.submit({"sabre", 9, targeted}).wait();
+  ASSERT_TRUE(t1.ok() && t2.ok()) << t1.error << t2.error;
+  EXPECT_FALSE(t2.result->cache_hit) << "caller-owned graphs are uncacheable";
+}
+
+TEST(Service, CacheCanBeDisabledPerJobAndPerService) {
+  MappingService cacheless{service_options(2, /*cache_capacity=*/0)};
+  ASSERT_TRUE(cacheless.submit({"lnn", 8, MapOptions{}}).wait().ok());
+  const JobResult again = cacheless.submit({"lnn", 8, MapOptions{}}).wait();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.result->cache_hit);
+
+  MappingService service{service_options(2)};
+  ASSERT_TRUE(service.submit({"lnn", 8, MapOptions{}}).wait().ok());
+  MappingService::Submit no_cache;
+  no_cache.use_cache = false;
+  const JobResult bypass =
+      service.submit({"lnn", 8, MapOptions{}}, no_cache).wait();
+  ASSERT_TRUE(bypass.ok());
+  EXPECT_FALSE(bypass.result->cache_hit);
+}
+
+TEST(ResultCache, LruEvictsTheColdestEntryPerShard) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  const auto result = std::make_shared<const MapResult>();
+  cache.put("a", result);
+  cache.put("b", result);
+  EXPECT_NE(cache.get("a"), nullptr);  // promotes "a" to MRU
+  cache.put("c", result);              // evicts "b"
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCache, KeyCoversEveryResultShapingKnob) {
+  const MapOptions base;
+  const std::string k = ResultCache::key("lattice", 16, base);
+  {
+    MapOptions o;
+    o.strict_ie = true;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.lattice_phase_offset = 0;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.transversal_unit_swap = false;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.sabre.seed = 7;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.verify = false;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.incremental_verify = false;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  // Serving knobs must NOT fragment the key: a deadlined re-request of the
+  // same mapping is still a hit.
+  {
+    MapOptions o;
+    o.deadline_seconds = 2.5;
+    std::atomic<bool> token{false};
+    o.cancel = &token;
+    EXPECT_EQ(ResultCache::key("lattice", 16, o), k);
+  }
+  EXPECT_NE(ResultCache::key("lattice", 25, base), k);
+  EXPECT_NE(ResultCache::key("grid", 16, base), k);
+}
+
+// ------------------------------------------------------- batch front-end --
+
+TEST(ServiceBatch, SecondIdenticalBatchIsServedFromTheCache) {
+  // map_qft_batch rides MappingService::shared(): repeating a deterministic
+  // batch must come back entirely from the cache, bit-identically.
+  std::vector<BatchRequest> reqs;
+  for (std::int32_t n : {4, 9, 16}) reqs.push_back({"lattice", n, MapOptions{}});
+  const auto cold = map_qft_batch(reqs, 2);
+  const auto warm = map_qft_batch(reqs, 2);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok) << cold[i].error;
+    ASSERT_TRUE(warm[i].ok) << warm[i].error;
+    EXPECT_TRUE(warm[i].result.cache_hit);
+    EXPECT_EQ(warm[i].result.timings.map_seconds, 0.0);
+    EXPECT_EQ(warm[i].result.mapped.circuit.to_string(),
+              cold[i].result.mapped.circuit.to_string());
+  }
+}
+
+// ---------------------------------------------------------- serve protocol --
+
+TEST(Serve, ParsesTheDocumentedRequestShape) {
+  const ServeRequest req = parse_serve_request(
+      R"({"id": 7, "engine": "sycamore", "m": 6, "priority": 3,)"
+      R"( "deadline": 1.5, "strict_ie": true, "cache": false})");
+  ASSERT_TRUE(req.ok) << req.error;
+  EXPECT_EQ(req.id, "7");
+  EXPECT_EQ(req.request.engine, "sycamore");
+  EXPECT_EQ(req.request.n, 36);
+  EXPECT_TRUE(req.request.options.strict_ie);
+  EXPECT_EQ(req.submit.priority, 3);
+  EXPECT_DOUBLE_EQ(req.submit.deadline_seconds, 1.5);
+  EXPECT_FALSE(req.submit.use_cache);
+}
+
+TEST(Serve, RejectsMalformedLinesWithTheIdEchoed) {
+  EXPECT_FALSE(parse_serve_request("").ok);
+  EXPECT_FALSE(parse_serve_request("not json").ok);
+  EXPECT_FALSE(parse_serve_request(R"({"engine": "lnn"})").ok)
+      << "n is required";
+  EXPECT_FALSE(parse_serve_request(R"({"n": 8})").ok) << "engine is required";
+  EXPECT_FALSE(parse_serve_request(R"({"engine": "lnn", "n": 0})").ok);
+  EXPECT_FALSE(parse_serve_request(R"({"engine": "lnn", "n": 8.5})").ok);
+  EXPECT_FALSE(
+      parse_serve_request(R"({"engine": "lnn", "n": 8, "n": 9})").ok)
+      << "duplicate keys";
+
+  const ServeRequest typo =
+      parse_serve_request(R"({"id": "x", "engine": "lnn", "n": 8, "nap": 1})");
+  EXPECT_FALSE(typo.ok);
+  EXPECT_NE(typo.error.find("unknown field"), std::string::npos);
+  EXPECT_EQ(typo.id, "\"x\"") << "id survives rejection for the response";
+}
+
+TEST(Serve, LoopStreamsResponsesInRequestOrderWithCacheHits) {
+  std::istringstream in(
+      "{\"id\": 1, \"engine\": \"lattice\", \"n\": 9}\n"
+      "\n"  // blank lines are skipped
+      "{\"id\": 2, \"engine\": \"lattice\", \"n\": 9}\n"
+      "{\"id\": 3, \"engine\": \"nosuch\", \"n\": 4}\n"
+      "{\"id\": 4, \"bad\"\n");
+  std::ostringstream out;
+  // One worker serializes the two identical requests, so the second is
+  // guaranteed to find the first's cache entry (with more workers they may
+  // race and both miss — the service does not coalesce in-flight twins).
+  MappingService service{service_options(1)};
+  EXPECT_EQ(run_serve_loop(in, out, service), 0);
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u) << out.str();
+  EXPECT_NE(lines[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"map_seconds\":0,"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[2].find("unknown engine"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[3].find("parse error"), std::string::npos);
+}
+
+// ---------------------------------------------------- lifecycle under load --
+
+TEST(Service, DestructionCancelsQueuedJobsAndJoinsWorkers) {
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.2);
+  JobHandle running, queued;
+  {
+    MappingService service{service_options(1), pipeline};
+    running = service.submit({"sleeper", 4, MapOptions{}});
+    queued = service.submit({"lnn", 8, MapOptions{}});
+    // Destructor: flips the running job's token, retires the queued one.
+  }
+  const JobResult ran = running.wait();
+  EXPECT_TRUE(ran.status == JobStatus::kDone ||
+              ran.status == JobStatus::kCancelled);
+  EXPECT_EQ(queued.wait().status, JobStatus::kCancelled);
+}
+
+TEST(Service, DestructionCancelsRunningJobsInsteadOfWaitingOutBudgets) {
+  // Shutdown must flip the cancel token of in-flight jobs — destroying a
+  // service mid-SATMAP may not block for the 60 s solver budget.
+  JobHandle job;
+  WallTimer timer;
+  {
+    MappingService service{service_options(1)};
+    MapOptions opts;
+    opts.satmap.time_budget_seconds = 60.0;
+    job = service.submit({"satmap", 8, opts});
+    WallTimer spin;
+    while (job.status() == JobStatus::kQueued && spin.seconds() < 10.0) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_EQ(job.status(), JobStatus::kRunning);
+    timer.reset();
+  }
+  EXPECT_LT(timer.seconds(), 30.0) << "join must not wait out the budget";
+  const JobResult out = job.wait();
+  EXPECT_TRUE(out.status == JobStatus::kCancelled ||
+              out.status == JobStatus::kDone);
+}
+
+TEST(Service, ConcurrentMixedLoadKeepsEveryJobAccounted) {
+  // The TSan workout: many producers submitting against one service while
+  // workers serve hits and misses concurrently.
+  MappingService service{service_options(4)};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 12;
+  std::vector<std::thread> producers;
+  std::vector<std::vector<JobHandle>> handles(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, &handles, p]() {
+      const char* engines[] = {"lnn", "heavy_hex", "sycamore", "lattice"};
+      for (int i = 0; i < kPerProducer; ++i) {
+        BatchRequest req;
+        req.engine = engines[(p + i) % 4];
+        req.n = 4 + (i % 3) * 5;
+        handles[p].push_back(service.submit(std::move(req)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& per_producer : handles) {
+    for (auto& handle : per_producer) {
+      const JobResult out = handle.wait();
+      ASSERT_EQ(out.status, JobStatus::kDone) << out.error;
+      EXPECT_TRUE(out.result->check.ok) << out.result->check.error;
+    }
+  }
+  const ResultCache::Stats stats = service.cache_stats();
+  EXPECT_GT(stats.hits, 0u) << "repeated requests must hit";
+}
+
+}  // namespace
+}  // namespace qfto
