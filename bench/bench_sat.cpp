@@ -1,0 +1,113 @@
+// SATMAP search-driver comparison: monolithic re-encode-per-probe vs the
+// incremental single-instance driver (assumption-gated horizons, retained
+// learnt clauses, assumption-tightened SWAP counter), on QFT-{4..8} x
+// {line, 2xK grid}.
+//
+// A structural note the numbers only make sense with: for QFT (and every
+// routing-pressure family we tried — mirrored pairings, hub chains, rings),
+// the strict-DAG critical path is a *tight* horizon bound: the first
+// deepening probe at T = lower is already SAT, so the T-deepening loop
+// contributes exactly one probe and the iterated probe sequence of a SATMAP
+// run is the SWAP-minimization descent at fixed T (budget = model swaps - 1
+// until UNSAT proves the minimum). That descent is where the incremental
+// driver's reuse pays: the monolithic baseline re-encodes the full
+// time-expanded instance per budget probe and re-learns it from scratch,
+// the incremental driver pays the encoding once and carries learnt clauses
+// and saved phases through every probe.
+//
+// Families:
+//   satmap_depth_probe/<arch>_<driver>/n — minimize_swaps off: encode + the
+//       single depth-feasibility probe. Isolates encoding cost; both
+//       drivers do the same solver work here.
+//   satmap_route/<arch>_<driver>/n — the full production search (depth
+//       probe + SWAP-minimization descent): the end-to-end comparison.
+//
+// Counters (per run): sat_conflicts, sat_decisions, sat_propagations,
+// sat_clauses (database size, summed over probes on the monolithic path —
+// the re-encode overhead made visible), solve_calls, solved/layers/swaps.
+// Runs are pinned to Iterations(1): each iteration is a whole SAT search,
+// and the counters, not single-shot wall time, are the stable signal.
+//
+// QFTO_BENCH_SAT_BUDGET (seconds, default 60) bounds every run; a TLE shows
+// up as solved=0 rather than a hung CI leg.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "arch/grid.hpp"
+#include "arch/line.hpp"
+#include "baseline/satmap.hpp"
+#include "circuit/qft_spec.hpp"
+
+namespace {
+
+using namespace qfto;
+
+double budget_seconds() {
+  const char* v = std::getenv("QFTO_BENCH_SAT_BUDGET");
+  return v != nullptr ? std::atof(v) : 60.0;
+}
+
+CouplingGraph arch_graph(const std::string& kind, std::int32_t n) {
+  if (kind == "line") return make_line(n);
+  return make_grid(2, (n + 1) / 2);  // smallest 2xK grid holding n qubits
+}
+
+void report(benchmark::State& state, const SatmapResult& r) {
+  state.counters["sat_conflicts"] = static_cast<double>(r.stats.conflicts);
+  state.counters["sat_decisions"] = static_cast<double>(r.stats.decisions);
+  state.counters["sat_propagations"] =
+      static_cast<double>(r.stats.propagations);
+  state.counters["sat_clauses"] = static_cast<double>(r.stats.clauses);
+  state.counters["solve_calls"] = static_cast<double>(r.stats.solve_calls);
+  state.counters["solved"] = r.solved ? 1.0 : 0.0;
+  state.counters["layers"] = static_cast<double>(r.layers);
+  state.counters["swaps"] = static_cast<double>(r.swaps);
+}
+
+void satmap_bench(benchmark::State& state, const char* kind, bool incremental,
+                  bool minimize) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const CouplingGraph g = arch_graph(kind, n);
+  SatmapResult last;
+  for (auto _ : state) {
+    SatmapOptions opts;
+    opts.incremental = incremental;
+    opts.minimize_swaps = minimize;
+    opts.time_budget_seconds = budget_seconds();
+    last = satmap_route(qft_logical(n), g, opts);
+  }
+  report(state, last);
+}
+
+void satmap_depth_probe(benchmark::State& state, const char* kind,
+                        bool incremental) {
+  satmap_bench(state, kind, incremental, /*minimize=*/false);
+}
+
+void satmap_route_full(benchmark::State& state, const char* kind,
+                       bool incremental) {
+  satmap_bench(state, kind, incremental, /*minimize=*/true);
+}
+
+#define QFTO_SAT_BENCH(fn, arch, range_lo, range_hi)                     \
+  BENCHMARK_CAPTURE(fn, arch##_monolithic, #arch, false)                 \
+      ->DenseRange(range_lo, range_hi)                                   \
+      ->Iterations(1)                                                    \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->UseRealTime();                                                   \
+  BENCHMARK_CAPTURE(fn, arch##_incremental, #arch, true)                 \
+      ->DenseRange(range_lo, range_hi)                                   \
+      ->Iterations(1)                                                    \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->UseRealTime();
+
+QFTO_SAT_BENCH(satmap_depth_probe, line, 4, 8)
+QFTO_SAT_BENCH(satmap_depth_probe, grid, 4, 8)
+QFTO_SAT_BENCH(satmap_route_full, line, 4, 8)
+QFTO_SAT_BENCH(satmap_route_full, grid, 4, 6)
+
+#undef QFTO_SAT_BENCH
+
+}  // namespace

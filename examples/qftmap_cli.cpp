@@ -6,13 +6,19 @@
 //   qftmap --arch sycamore  --m 6   [--strict-ie]
 //   qftmap --arch lattice   --m 12  [--synced]
 //   qftmap --arch sabre     --n 16  [--trials T]
-//   qftmap --arch satmap    --n 5   [--budget SECONDS]
+//   qftmap --arch satmap    --n 5   [--budget SECONDS] [--solver BACKEND]
+//                                   [--monolithic-sat] [--dump-cnf FILE.cnf]
 //   ... [--aqft K] [--cnot-basis] [--quiet]
 //
 // Every engine is selected by its registry name (`--list` enumerates them);
 // the pipeline builds the native coupling graph, maps, and verifies with the
 // static checker. Small instances are additionally simulated. Output can be
 // written as OpenQASM 2.0.
+//
+// SATMAP runs on a pluggable SAT backend (`--list-solvers` enumerates the
+// registry; default "cdcl"). `--dump-cnf` exports the instance in flight
+// when the run ended — most usefully a TLE'd probe — as DIMACS CNF for
+// replay in external solvers.
 //
 // `--serve` switches to the long-running mode: newline-delimited JSON
 // requests on stdin are dispatched through the async MappingService
@@ -28,6 +34,7 @@
 #include "circuit/transforms.hpp"
 #include "pipeline/mapper_pipeline.hpp"
 #include "qasm/qasm.hpp"
+#include "sat/solver_interface.hpp"
 #include "service/mapping_service.hpp"
 #include "service/serve.hpp"
 #include "verify/equivalence.hpp"
@@ -38,9 +45,10 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --arch ENGINE (--n N | --m M) [--out FILE] [--strict-ie] "
-      "[--synced] [--trials T] [--budget SECONDS] [--aqft K] [--cnot-basis] "
+      "[--synced] [--trials T] [--budget SECONDS] [--solver BACKEND] "
+      "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
       "[--quiet]\n       %s --serve [--threads T] [--cache-entries N]\n"
-      "       %s --list\n",
+      "       %s --list | --list-solvers\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -50,6 +58,13 @@ int list_engines() {
   for (const auto& name : pipeline.engine_names()) {
     std::printf("%-14s %s\n", name.c_str(),
                 pipeline.at(name).description().c_str());
+  }
+  return 0;
+}
+
+int list_solvers() {
+  for (const auto& name : qfto::sat::solver_backend_names()) {
+    std::printf("%s\n", name.c_str());
   }
   return 0;
 }
@@ -72,6 +87,8 @@ int main(int argc, char** argv) {
     };
     if (a == "--list") {
       return list_engines();
+    } else if (a == "--list-solvers") {
+      return list_solvers();
     } else if (a == "--serve") {
       serve = true;
     } else if (a == "--threads") {
@@ -108,6 +125,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opts.satmap.time_budget_seconds = std::atof(v);
+    } else if (a == "--solver") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.satmap.solver = v;
+    } else if (a == "--monolithic-sat") {
+      opts.satmap.incremental = false;
+    } else if (a == "--dump-cnf") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.satmap.dump_cnf_path = v;
     } else if (a == "--out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -167,6 +194,14 @@ int main(int argc, char** argv) {
                   result.check.counts.to_string().c_str());
       std::printf("compile time   : %.4f s (+%.4f s verify)\n",
                   result.timings.map_seconds, result.timings.check_seconds);
+      if (result.timings.sat.solve_calls > 0) {
+        std::printf("sat search     : %lld conflicts, %lld decisions, "
+                    "%lld restarts over %lld solve calls\n",
+                    static_cast<long long>(result.timings.sat.conflicts),
+                    static_cast<long long>(result.timings.sat.decisions),
+                    static_cast<long long>(result.timings.sat.restarts),
+                    static_cast<long long>(result.timings.sat.solve_calls));
+      }
       if (sim_err >= 0) std::printf("simulation err : %.2e\n", sim_err);
       if (aqft > 0 || cnot_basis) {
         std::printf("post-transform : %s\n",

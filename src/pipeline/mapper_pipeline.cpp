@@ -78,7 +78,24 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   ensure_live("map");
 
   WallTimer timer;
-  result.mapped = engine.map(result.n, result.graph, opts);
+  // Install a stats sink so SAT-backed engines report their search effort
+  // into MapResult::timings; a caller-supplied sink still gets the numbers —
+  // also on engine failure (a TLE'd SATMAP run throws after recording real
+  // counters, the primary diagnostic use of the sink).
+  MapOptions map_opts = opts;
+  map_opts.satmap.stats_out = &result.timings.sat;
+  const auto copy_back_stats = [&]() {
+    if (opts.satmap.stats_out != nullptr) {
+      *opts.satmap.stats_out = result.timings.sat;
+    }
+  };
+  try {
+    result.mapped = engine.map(result.n, result.graph, map_opts);
+  } catch (...) {
+    copy_back_stats();
+    throw;
+  }
+  copy_back_stats();
   result.timings.map_seconds = timer.seconds();
   ensure_live("verify");
 

@@ -91,6 +91,11 @@ class MapCancelled : public std::runtime_error {
 struct MapTimings {
   double map_seconds = 0.0;
   double check_seconds = 0.0;
+  /// Cumulative SAT-solver effort (conflicts/decisions/restarts/...) when
+  /// the engine ran a SAT search — zero-initialized (solve_calls == 0) for
+  /// the analytical engines. Zeroed on cache hits like the wall-clock
+  /// fields: no work was done.
+  sat::SolverStats sat;
   double total_seconds() const { return map_seconds + check_seconds; }
 };
 

@@ -4,11 +4,11 @@
 
 namespace qfto::sat {
 
-void add_at_least_one(Solver& s, const std::vector<Lit>& lits) {
+void add_at_least_one(SolverInterface& s, const std::vector<Lit>& lits) {
   s.add_clause(lits);
 }
 
-void add_at_most_one(Solver& s, const std::vector<Lit>& lits) {
+void add_at_most_one(SolverInterface& s, const std::vector<Lit>& lits) {
   for (std::size_t i = 0; i < lits.size(); ++i) {
     for (std::size_t j = i + 1; j < lits.size(); ++j) {
       s.add_binary(~lits[i], ~lits[j]);
@@ -16,12 +16,36 @@ void add_at_most_one(Solver& s, const std::vector<Lit>& lits) {
   }
 }
 
-void add_exactly_one(Solver& s, const std::vector<Lit>& lits) {
+void add_exactly_one(SolverInterface& s, const std::vector<Lit>& lits) {
   add_at_least_one(s, lits);
   add_at_most_one(s, lits);
 }
 
-void add_at_most_k(Solver& s, const std::vector<Lit>& lits, std::int32_t k) {
+std::vector<std::vector<Lit>> add_sequential_counter(
+    SolverInterface& s, const std::vector<Lit>& lits, std::int32_t width) {
+  const std::int32_t n = static_cast<std::int32_t>(lits.size());
+  qfto::require(width >= 1 && width <= n,
+                "add_sequential_counter: width out of range");
+  std::vector<std::vector<Lit>> r(n, std::vector<Lit>(width));
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < width; ++j) r[i][j] = Lit::pos(s.new_var());
+  }
+  // x0 -> r[0][0]
+  s.add_implication(lits[0], r[0][0]);
+  for (std::int32_t j = 1; j < width; ++j) s.add_unit(~r[0][j]);
+  for (std::int32_t i = 1; i < n; ++i) {
+    s.add_implication(lits[i], r[i][0]);
+    s.add_implication(r[i - 1][0], r[i][0]);
+    for (std::int32_t j = 1; j < width; ++j) {
+      // x_i ∧ r[i-1][j-1] -> r[i][j]
+      s.add_ternary(~lits[i], ~r[i - 1][j - 1], r[i][j]);
+      s.add_implication(r[i - 1][j], r[i][j]);
+    }
+  }
+  return r;
+}
+
+void add_at_most_k(SolverInterface& s, const std::vector<Lit>& lits, std::int32_t k) {
   qfto::require(k >= 0, "add_at_most_k: negative k");
   const std::int32_t n = static_cast<std::int32_t>(lits.size());
   if (k >= n) return;
@@ -29,24 +53,10 @@ void add_at_most_k(Solver& s, const std::vector<Lit>& lits, std::int32_t k) {
     for (Lit l : lits) s.add_unit(~l);
     return;
   }
-  // Sinz sequential counter: r[i][j] = "at least j+1 of the first i+1 lits".
-  std::vector<std::vector<std::int32_t>> r(n, std::vector<std::int32_t>(k));
-  for (std::int32_t i = 0; i < n; ++i) {
-    for (std::int32_t j = 0; j < k; ++j) r[i][j] = s.new_var();
-  }
-  // x0 -> r[0][0]
-  s.add_implication(lits[0], Lit::pos(r[0][0]));
-  for (std::int32_t j = 1; j < k; ++j) s.add_unit(~Lit::pos(r[0][j]));
+  const auto r = add_sequential_counter(s, lits, k);
   for (std::int32_t i = 1; i < n; ++i) {
-    s.add_implication(lits[i], Lit::pos(r[i][0]));
-    s.add_implication(Lit::pos(r[i - 1][0]), Lit::pos(r[i][0]));
-    for (std::int32_t j = 1; j < k; ++j) {
-      // x_i ∧ r[i-1][j-1] -> r[i][j]
-      s.add_ternary(~lits[i], ~Lit::pos(r[i - 1][j - 1]), Lit::pos(r[i][j]));
-      s.add_implication(Lit::pos(r[i - 1][j]), Lit::pos(r[i][j]));
-    }
     // x_i ∧ r[i-1][k-1] -> conflict
-    s.add_binary(~lits[i], ~Lit::pos(r[i - 1][k - 1]));
+    s.add_binary(~lits[i], ~r[i - 1][k - 1]);
   }
 }
 

@@ -5,19 +5,30 @@
 
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/solver_interface.hpp"
 
 namespace qfto::sat {
 
 /// At least one of `lits`.
-void add_at_least_one(Solver& s, const std::vector<Lit>& lits);
+void add_at_least_one(SolverInterface& s, const std::vector<Lit>& lits);
 
 /// Pairwise at-most-one.
-void add_at_most_one(Solver& s, const std::vector<Lit>& lits);
+void add_at_most_one(SolverInterface& s, const std::vector<Lit>& lits);
 
-void add_exactly_one(Solver& s, const std::vector<Lit>& lits);
+void add_exactly_one(SolverInterface& s, const std::vector<Lit>& lits);
+
+/// Sinz sequential-counter registers over `lits`: r[i][j] = "at least j+1
+/// of lits[0..i]", encoded with one-directional implications (enough for
+/// enforcement). Requires 1 <= width <= lits.size(). The last row
+/// r[n-1][j] is the unary output chain "at least j+1 of all lits" —
+/// assume its negations to tighten a bound incrementally (SATMAP's SWAP
+/// descent), or pair the registers with overflow clauses for a baked-in
+/// bound (add_at_most_k below).
+std::vector<std::vector<Lit>> add_sequential_counter(SolverInterface& s,
+                                                     const std::vector<Lit>& lits,
+                                                     std::int32_t width);
 
 /// Sequential-counter at-most-k (creates O(n*k) auxiliary variables).
-void add_at_most_k(Solver& s, const std::vector<Lit>& lits, std::int32_t k);
+void add_at_most_k(SolverInterface& s, const std::vector<Lit>& lits, std::int32_t k);
 
 }  // namespace qfto::sat

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "common/types.hpp"
 
 namespace qfto::sat {
+
+const std::vector<Lit> Solver::kNoAssumptions;
 
 std::int32_t Solver::new_var() {
   const std::int32_t v = num_vars();
@@ -21,6 +24,10 @@ std::int32_t Solver::new_var() {
 
 void Solver::add_clause(std::vector<Lit> lits) {
   if (unsat_) return;
+  // Incremental use adds clauses between solve() calls; the level-0
+  // simplification and watch initialization below are only sound at the root,
+  // so drop any leftover search state (this invalidates a previous model).
+  if (!trail_lim_.empty()) backtrack(0);
   // Normalize: drop duplicate literals; detect tautologies.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code < b.code; });
@@ -67,6 +74,7 @@ void Solver::enqueue(Lit l, std::int32_t reason) {
 std::int32_t Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
+    ++propagations_;
     // Clauses watching ~p must find a new watch or propagate/conflict.
     auto& watch_list = watches_[(~p).code];
     std::size_t keep = 0;
@@ -239,6 +247,48 @@ void Solver::reduce_learnts() {
   }
 }
 
+void Solver::simplify_at_root() {
+  // Root-level database simplification (MiniSat's simplifyDB): with the
+  // trail at level 0 and propagation at fixpoint, drop every clause
+  // satisfied by a root fact — retired SATMAP horizons turn whole clause
+  // families into dead weight — and strip false literals from the rest.
+  // Sound: removed clauses are implied by the remaining formula plus the
+  // root facts, which dump_dimacs emits as units.
+  if (!trail_lim_.empty() || simplified_at_ == trail_.size()) return;
+  simplified_at_ = trail_.size();
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (Clause& c : clauses_) {
+    bool satisfied = false;
+    std::size_t w = 0;
+    for (const Lit l : c.lits) {
+      const std::int8_t v = lit_value(l);
+      if (v == kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == kUndef) c.lits[w++] = l;
+    }
+    if (satisfied) continue;
+    c.lits.resize(w);
+    // Propagation fixpoint at the root leaves no unit or empty clause here:
+    // a would-be unit has its remaining literal already true (satisfied).
+    kept.push_back(std::move(c));
+  }
+  clauses_ = std::move(kept);
+  // Root-assigned vars may hold reason indices into the old database; they
+  // are never resolved (analyze skips level-0 literals), so drop them
+  // rather than remap.
+  for (std::int32_t v = 0; v < num_vars(); ++v) reason_[v] = -1;
+  for (auto& wl : watches_) wl.clear();
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    watches_[clauses_[i].lits[0].code].push_back(
+        static_cast<std::int32_t>(i));
+    watches_[clauses_[i].lits[1].code].push_back(
+        static_cast<std::int32_t>(i));
+  }
+}
+
 std::int64_t Solver::luby(std::int64_t i) {
   // Luby sequence: 1 1 2 1 1 2 4 ...
   std::int64_t k = 1;
@@ -251,7 +301,9 @@ std::int64_t Solver::luby(std::int64_t i) {
   return 1ll << (k - 1);
 }
 
-Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     double budget_seconds, const std::atomic<bool>* cancel) {
+  ++solve_calls_;
   if (unsat_) return Result::kUnsat;
   Deadline deadline(budget_seconds);
   const auto out_of_time = [&]() {
@@ -259,7 +311,18 @@ Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
            deadline.expired();
   };
   if (out_of_time()) return Result::kTimeout;
-  if (propagate() >= 0) return Result::kUnsat;
+  for (const Lit a : assumptions) {
+    require(a.var() >= 0 && a.var() < num_vars(), "solve: unknown assumption");
+  }
+  // Incremental entry: drop the previous call's search state (keeping all
+  // root-level facts and learnt clauses) and re-run root propagation, which
+  // may now reach a contradiction from clauses added since.
+  backtrack(0);
+  if (propagate() >= 0) {
+    unsat_ = true;
+    return Result::kUnsat;
+  }
+  simplify_at_root();
 
   std::int64_t restart_idx = 0;
   std::int64_t conflicts_until_restart = 32 * luby(restart_idx);
@@ -270,10 +333,17 @@ Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
     if (confl >= 0) {
       ++conflicts_;
       clauses_[confl].activity += 1.0;
-      if (trail_lim_.empty()) return Result::kUnsat;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return Result::kUnsat;
+      }
       std::vector<Lit> learnt;
       std::int32_t bt = 0;
       analyze(confl, learnt, bt);
+      // Learnt clauses resolve only clause-database reasons, so they are
+      // implied by the formula alone — safe to retain across calls with
+      // different assumptions. The backtrack may land inside the assumption
+      // prefix; the decision step below re-establishes assumptions in order.
       backtrack(bt);
       if (learnt.size() == 1) {
         enqueue(learnt[0], -1);
@@ -287,6 +357,7 @@ Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
       decay_var_activity();
       if (--conflicts_until_restart <= 0) {
         backtrack(0);
+        ++restarts_;
         conflicts_until_restart = 32 * luby(++restart_idx);
         rebuild_order();
         if (conflicts_ % 4096 == 0) reduce_learnts();
@@ -295,7 +366,28 @@ Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
         return Result::kTimeout;
       }
     } else {
-      const Lit next = pick_branch();
+      // Pin every assumption as its own decision level before any free
+      // decision (MiniSat-style): already-true assumptions get an empty
+      // level so level index keeps tracking assumption index; an assumption
+      // that propagated false is UNSAT *under these assumptions* — the
+      // instance itself stays usable.
+      Lit next{-1};
+      while (static_cast<std::size_t>(trail_lim_.size()) <
+             assumptions.size()) {
+        const Lit a = assumptions[trail_lim_.size()];
+        const std::int8_t v = lit_value(a);
+        if (v == kTrue) {
+          trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+          continue;
+        }
+        if (v == kFalse) {
+          backtrack(0);
+          return Result::kUnsat;
+        }
+        next = a;
+        break;
+      }
+      if (next.code == -1) next = pick_branch();
       if (next.code == -1) return Result::kSat;
       ++decisions_;
       trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
@@ -309,5 +401,34 @@ Result Solver::solve(double budget_seconds, const std::atomic<bool>* cancel) {
 }
 
 bool Solver::value(std::int32_t var) const { return assign_[var] == kTrue; }
+
+SolverStats Solver::stats() const {
+  SolverStats s;
+  s.conflicts = conflicts_;
+  s.decisions = decisions_;
+  s.propagations = propagations_;
+  s.restarts = restarts_;
+  s.solve_calls = solve_calls_;
+  s.clauses = static_cast<std::int64_t>(clauses_.size());
+  s.vars = num_vars();
+  return s;
+}
+
+void Solver::dump_dimacs(std::ostream& out,
+                         const std::vector<Lit>& extra_units) const {
+  // Root-level facts: original unit clauses land on the trail, not in the
+  // clause database, and level-0 propagations are implied, so dumping the
+  // whole root prefix keeps the instance equivalent.
+  const std::size_t root_end =
+      trail_lim_.empty() ? trail_.size()
+                         : static_cast<std::size_t>(trail_lim_[0]);
+  std::vector<const std::vector<Lit>*> original;
+  original.reserve(clauses_.size());
+  for (const Clause& c : clauses_) {
+    if (!c.learnt) original.push_back(&c.lits);
+  }
+  write_dimacs(out, name(), unsat_, num_vars(), trail_.data(), root_end,
+               original, extra_units);
+}
 
 }  // namespace qfto::sat

@@ -1,10 +1,15 @@
-// Self-contained CDCL SAT solver — the substrate under the SATMAP baseline
-// (Molavi et al., MICRO'22, use a MaxSAT engine; we reproduce the behaviour
-// with our own solver so the repository has no external dependencies).
+// Self-contained CDCL SAT solver — the "cdcl" backend behind SolverInterface
+// and the substrate under the SATMAP baseline (Molavi et al., MICRO'22, use a
+// MaxSAT engine; we reproduce the behaviour with our own solver so the
+// repository has no external dependencies).
 // Features: two-watched-literal propagation, first-UIP clause learning,
-// EVSIDS-style activity ordering, Luby restarts, phase saving, and a
-// wall-clock budget so callers can reproduce the paper's "TLE after 2h"
-// outcomes at friendlier time scales.
+// EVSIDS-style activity ordering, Luby restarts, phase saving, a wall-clock
+// budget so callers can reproduce the paper's "TLE after 2h" outcomes at
+// friendlier time scales, and MiniSat-style solve-under-assumptions:
+// assumption literals are pinned as the first decision levels of every
+// restart, learnt clauses are retained across calls (they are implied by the
+// clause database alone, never by a call's assumptions), and kUnsat under
+// assumptions leaves the instance reusable.
 #pragma once
 
 #include <atomic>
@@ -12,51 +17,46 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "sat/solver_interface.hpp"
 
 namespace qfto::sat {
 
-/// Literal: variable v (0-based) with sign; encoded as 2v (positive) or
-/// 2v+1 (negated).
-struct Lit {
-  std::int32_t code = -1;
-
-  static Lit pos(std::int32_t v) { return Lit{2 * v}; }
-  static Lit neg(std::int32_t v) { return Lit{2 * v + 1}; }
-  Lit operator~() const { return Lit{code ^ 1}; }
-  std::int32_t var() const { return code >> 1; }
-  bool sign() const { return code & 1; }  // true = negated
-  bool operator==(const Lit& o) const { return code == o.code; }
-};
-
-enum class Result { kSat, kUnsat, kTimeout };
-
-class Solver {
+class Solver final : public SolverInterface {
  public:
   Solver() = default;
 
+  std::string name() const override { return "cdcl"; }
+
   /// Creates a fresh variable, returns its index.
-  std::int32_t new_var();
-  std::int32_t num_vars() const { return static_cast<std::int32_t>(phase_.size()); }
+  std::int32_t new_var() override;
+  std::int32_t num_vars() const override {
+    return static_cast<std::int32_t>(phase_.size());
+  }
 
   /// Adds a clause (empty clause makes the instance trivially UNSAT).
-  void add_clause(std::vector<Lit> lits);
-  void add_unit(Lit a) { add_clause({a}); }
-  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
-  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+  /// Backtracks to the root level first, so the model of a previous kSat
+  /// call is invalidated — extract models before growing the instance.
+  void add_clause(std::vector<Lit> lits) override;
 
-  /// a -> b.
-  void add_implication(Lit a, Lit b) { add_clause({~a, b}); }
+  /// Solves under `assumptions` with an optional wall-clock budget (<= 0:
+  /// unlimited). See SolverInterface::solve for the cancel contract.
+  Result solve(const std::vector<Lit>& assumptions,
+               double budget_seconds = 0.0,
+               const std::atomic<bool>* cancel = nullptr) override;
 
-  /// Solves with an optional wall-clock budget (<=0: unlimited). `cancel`,
-  /// when non-null, is polled at the same cadence as the deadline: another
-  /// thread flipping it true makes solve() return kTimeout within a few
-  /// thousand decisions — the cooperative-cancellation hook the mapping
-  /// service uses to abort in-flight SATMAP jobs.
+  /// Assumption-free legacy entry point (pre-interface callers).
   Result solve(double budget_seconds = 0.0,
-               const std::atomic<bool>* cancel = nullptr);
+               const std::atomic<bool>* cancel = nullptr) {
+    return solve(kNoAssumptions, budget_seconds, cancel);
+  }
 
   /// Model access after kSat.
-  bool value(std::int32_t var) const;
+  bool value(std::int32_t var) const override;
+
+  SolverStats stats() const override;
+  void dump_dimacs(std::ostream& out,
+                   const std::vector<Lit>& extra_units = {}) const override;
+  using SolverInterface::dump_dimacs;
 
   std::int64_t num_conflicts() const { return conflicts_; }
   std::int64_t num_decisions() const { return decisions_; }
@@ -70,6 +70,8 @@ class Solver {
   };
 
   enum : std::int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
+
+  static const std::vector<Lit> kNoAssumptions;
 
   std::int8_t lit_value(Lit l) const {
     const std::int8_t v = assign_[l.var()];
@@ -85,6 +87,7 @@ class Solver {
   void bump_var(std::int32_t v);
   void decay_var_activity();
   void reduce_learnts();
+  void simplify_at_root();
   static std::int64_t luby(std::int64_t i);
 
   std::vector<Clause> clauses_;
@@ -101,11 +104,18 @@ class Solver {
   bool unsat_ = false;
   std::int64_t conflicts_ = 0;
   std::int64_t decisions_ = 0;
+  std::int64_t propagations_ = 0;
+  std::int64_t restarts_ = 0;
+  std::int64_t solve_calls_ = 0;
 
   // Binary-heap order on activity, rebuilt lazily (simple and adequate for
   // the instance sizes SATMAP reaches before TLE).
   std::vector<std::int32_t> order_;
   void rebuild_order();
+
+  /// Root-trail size at the last simplify_at_root(), so incremental calls
+  /// only pay for re-simplification when new root facts arrived.
+  std::size_t simplified_at_ = 0;
 };
 
 }  // namespace qfto::sat

@@ -62,6 +62,14 @@ std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
   k += std::to_string(opts.satmap.max_layers);
   k += ',';
   k += opts.satmap.minimize_swaps ? '1' : '0';
+  k += ',';
+  // A stale hit across solver backends or search drivers would silently
+  // return wrong-backend results; both knobs shape the (non-deterministic
+  // TLE-vs-solved) outcome, so they fragment the key even though SATMAP
+  // itself is never cached today.
+  k += opts.satmap.solver;
+  k += ',';
+  k += opts.satmap.incremental ? '1' : '0';
   k += "|verify=";
   k += opts.verify ? '1' : '0';
   k += opts.incremental_verify ? '1' : '0';

@@ -25,8 +25,9 @@ class ResultCache {
   explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 8);
 
   /// Canonical cache key: engine, *native* size, and every MapOptions field
-  /// that shapes the result. Serving knobs (cancel, deadline_seconds) and
-  /// `target` are excluded — keys are only built for cacheable requests.
+  /// that shapes the result. Serving knobs (cancel, deadline_seconds,
+  /// satmap.dump_cnf_path, satmap.stats_out) and `target` are excluded —
+  /// keys are only built for cacheable requests.
   static std::string key(const std::string& engine, std::int32_t native_n,
                          const MapOptions& opts);
 

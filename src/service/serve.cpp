@@ -298,6 +298,20 @@ ServeRequest parse_serve_request(const std::string& line) {
         return req;
       }
       req.request.options.satmap.time_budget_seconds = value.num;
+    } else if (key == "solver") {
+      // Backend existence is validated at route time (the registry may have
+      // grown), but the obvious typo class fails fast here.
+      if (value.kind != JsonValue::kString || value.str.empty()) {
+        req.error = "\"solver\" must be a non-empty string";
+        return req;
+      }
+      req.request.options.satmap.solver = value.str;
+    } else if (key == "sat_incremental") {
+      if (value.kind != JsonValue::kBool) {
+        req.error = "\"sat_incremental\" must be a bool";
+        return req;
+      }
+      req.request.options.satmap.incremental = value.flag;
     } else {
       req.error = "unknown field \"" + json_escape(key) + "\"";
       return req;
@@ -345,6 +359,14 @@ std::string serve_response_json(const std::string& id, const JobResult& out) {
     s += ",\"cphase\":" + std::to_string(r.check.counts.cphase);
     s += ",\"swap\":" + std::to_string(r.check.counts.swap);
     s += ",\"cnot\":" + std::to_string(r.check.counts.cnot);
+  }
+  if (r.timings.sat.solve_calls > 0) {
+    // SAT-backed engines surface their search effort; analytical engines
+    // never ran a solver, so their response shape is unchanged.
+    s += ",\"sat_conflicts\":" + std::to_string(r.timings.sat.conflicts);
+    s += ",\"sat_decisions\":" + std::to_string(r.timings.sat.decisions);
+    s += ",\"sat_restarts\":" + std::to_string(r.timings.sat.restarts);
+    s += ",\"sat_solve_calls\":" + std::to_string(r.timings.sat.solve_calls);
   }
   s += ",\"cache_hit\":";
   s += r.cache_hit ? "true" : "false";

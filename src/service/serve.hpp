@@ -12,8 +12,10 @@
 // `id` (number or string, echoed back; null when absent), `priority`
 // (higher first), `deadline` (seconds), `cache` (bool, default true),
 // `verify` (bool, default true), `strict_ie`, `synced`, `trials`, `seed`,
-// `budget` (SATMAP seconds). Unknown fields are an error, so typos fail
-// loudly instead of silently mapping with defaults.
+// `budget` (SATMAP seconds), `solver` (SAT backend registry key, default
+// "cdcl"), `sat_incremental` (bool, default true: one incremental SAT
+// instance per SATMAP run vs re-encoding per probe). Unknown fields are an
+// error, so typos fail loudly instead of silently mapping with defaults.
 //
 // Responses stream in request order, each flushed as soon as its job
 // completes (jobs themselves run concurrently and may be reordered by
@@ -24,6 +26,9 @@
 //    "cnot":0,"cache_hit":false,"map_seconds":...,"check_seconds":...,
 //    "queue_seconds":...}
 //   {"id":2,"ok":false,"status":"expired","error":"deadline exceeded ..."}
+//
+// SAT-backed engines (satmap) additionally report their search effort:
+// "sat_conflicts", "sat_decisions", "sat_restarts", "sat_solve_calls".
 #pragma once
 
 #include <iosfwd>

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "arch/grid.hpp"
 #include "arch/heavy_hex.hpp"
 #include "arch/lattice_surgery.hpp"
@@ -213,6 +218,132 @@ TEST(Satmap, TimesOutOnLargerInstances) {
   const SatmapResult r = satmap_route(qft_logical(16), g, opts);
   EXPECT_FALSE(r.solved);
   EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Satmap, IncrementalMatchesMonolithicOnOutcomes) {
+  // The acceptance bar for the incremental rewrite: bit-compatible verdicts,
+  // minimal T and minimal SWAP count against the re-encode-per-probe oracle,
+  // on every instance CI can afford to solve both ways.
+  struct Case {
+    std::int32_t n;
+    CouplingGraph graph;
+  };
+  const std::vector<Case> cases = {
+      {2, make_line(2)},    {3, make_line(3)},    {4, make_line(4)},
+      {4, make_grid(2, 2)}, {5, make_line(5)},
+      // Spare physical cells (n < np): movement may slide a qubit into an
+      // empty neighbour instead of exchanging with an occupant.
+      {3, make_grid(2, 2)}, {5, make_grid(2, 3)},
+  };
+  for (const Case& c : cases) {
+    SatmapOptions inc;
+    inc.time_budget_seconds = 120.0;
+    SatmapOptions mono = inc;
+    mono.incremental = false;
+    const SatmapResult a = satmap_route(qft_logical(c.n), c.graph, inc);
+    const SatmapResult b = satmap_route(qft_logical(c.n), c.graph, mono);
+    ASSERT_TRUE(a.solved) << "incremental TLE at n=" << c.n;
+    ASSERT_TRUE(b.solved) << "monolithic TLE at n=" << c.n;
+    EXPECT_EQ(a.layers, b.layers) << "minimal T diverged at n=" << c.n;
+    EXPECT_EQ(a.swaps, b.swaps) << "minimal SWAPs diverged at n=" << c.n;
+    const auto chk_a = check_qft_mapping(a.mapped, c.graph);
+    const auto chk_b = check_qft_mapping(b.mapped, c.graph);
+    ASSERT_TRUE(chk_a.ok) << chk_a.error;
+    ASSERT_TRUE(chk_b.ok) << chk_b.error;
+    EXPECT_EQ(chk_a.counts.swap, chk_b.counts.swap);
+  }
+}
+
+TEST(Satmap, SpareCellSlidesExtractValidCircuits) {
+  // Regression: with n < np the model may move a qubit into an *empty*
+  // physical cell. extract() used to emit such a slide only when it went
+  // toward a higher physical id (the paired-transposition dedup), silently
+  // teleporting down-moves and corrupting the mapped circuit.
+  for (const bool incremental : {true, false}) {
+    for (const bool minimize : {true, false}) {
+      const CouplingGraph g = make_grid(2, 2);
+      SatmapOptions opts;
+      opts.time_budget_seconds = 120.0;
+      opts.incremental = incremental;
+      opts.minimize_swaps = minimize;
+      const SatmapResult r = satmap_route(qft_logical(3), g, opts);
+      ASSERT_TRUE(r.solved) << "inc=" << incremental << " min=" << minimize;
+      const auto chk = check_qft_mapping(r.mapped, g);
+      ASSERT_TRUE(chk.ok) << "inc=" << incremental << " min=" << minimize
+                          << ": " << chk.error;
+      EXPECT_LT(mapped_equivalence_error(r.mapped), 1e-9)
+          << "inc=" << incremental << " min=" << minimize;
+    }
+  }
+}
+
+TEST(Satmap, DpllBackendSolvesTheSmallestInstances) {
+  // The reference backend is exponentially weaker, but must agree with CDCL
+  // where it reaches: the differential value of a second registered engine.
+  const CouplingGraph g = make_line(3);
+  SatmapOptions opts;
+  opts.time_budget_seconds = 60.0;
+  opts.solver = "dpll";
+  const SatmapResult r = satmap_route(qft_logical(3), g, opts);
+  ASSERT_TRUE(r.solved) << "dpll timed out on QFT-3";
+  const auto chk = check_qft_mapping(r.mapped, g);
+  ASSERT_TRUE(chk.ok) << chk.error;
+
+  SatmapOptions cdcl_opts;
+  cdcl_opts.time_budget_seconds = 60.0;
+  const SatmapResult c = satmap_route(qft_logical(3), g, cdcl_opts);
+  ASSERT_TRUE(c.solved);
+  EXPECT_EQ(r.layers, c.layers);
+  EXPECT_EQ(r.swaps, c.swaps);
+}
+
+TEST(Satmap, UnknownSolverBackendThrows) {
+  SatmapOptions opts;
+  opts.solver = "no-such-backend";
+  EXPECT_THROW(satmap_route(qft_logical(2), make_line(2), opts),
+               std::invalid_argument);
+}
+
+TEST(Satmap, SurfacesSolverStats) {
+  const CouplingGraph g = make_line(3);
+  SatmapOptions opts;
+  opts.time_budget_seconds = 60.0;
+  sat::SolverStats sink;
+  opts.stats_out = &sink;
+  const SatmapResult r = satmap_route(qft_logical(3), g, opts);
+  ASSERT_TRUE(r.solved);
+  EXPECT_GE(r.stats.solve_calls, 2) << "deepening plus swap minimization";
+  EXPECT_GT(r.stats.decisions, 0);
+  EXPECT_GT(r.stats.clauses, 0);
+  EXPECT_EQ(sink.solve_calls, r.stats.solve_calls);
+  EXPECT_EQ(sink.conflicts, r.stats.conflicts);
+}
+
+TEST(Satmap, DumpCnfExportsTheInFlightInstance) {
+  for (const bool incremental : {true, false}) {
+    const std::string path = ::testing::TempDir() + "satmap_tle_" +
+                             (incremental ? "inc" : "mono") + ".cnf";
+    SatmapOptions opts;
+    opts.time_budget_seconds = 0.5;  // certain TLE on QFT-16 / sycamore
+    opts.incremental = incremental;
+    opts.minimize_swaps = false;
+    opts.dump_cnf_path = path;
+    const SatmapResult r =
+        satmap_route(qft_logical(16), make_sycamore(4), opts);
+    EXPECT_TRUE(r.timed_out);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no dump at " << path;
+    std::string line;
+    bool has_problem_line = false;
+    while (std::getline(in, line)) {
+      if (line.rfind("p cnf ", 0) == 0) {
+        has_problem_line = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_problem_line) << path << " is not DIMACS";
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "mapper/lnn_mapper.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/mapper_pipeline.hpp"
+#include "sat/solver_interface.hpp"
 
 namespace qfto {
 namespace {
@@ -227,6 +228,42 @@ TEST(PipelineOptions, SatmapBudgetExhaustionThrowsRuntimeError) {
   MapOptions opts;
   opts.satmap.time_budget_seconds = 1e-6;  // certain TLE
   EXPECT_THROW(map_qft("satmap", 8, opts), std::runtime_error);
+}
+
+TEST(PipelineOptions, SatmapSolverStatsSurfaceIntoTimings) {
+  MapOptions opts;
+  opts.satmap.time_budget_seconds = 60.0;
+  const MapResult r = map_qft("satmap", 3, opts);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+  EXPECT_GT(r.timings.sat.solve_calls, 0);
+  EXPECT_GT(r.timings.sat.decisions, 0);
+  EXPECT_GT(r.timings.sat.vars, 0);
+
+  // A caller-installed sink sees the same numbers the pipeline recorded.
+  sat::SolverStats sink;
+  MapOptions with_sink = opts;
+  with_sink.satmap.stats_out = &sink;
+  const MapResult again = map_qft("satmap", 3, with_sink);
+  ASSERT_TRUE(again.check.ok);
+  EXPECT_EQ(sink.solve_calls, again.timings.sat.solve_calls);
+  EXPECT_EQ(sink.conflicts, again.timings.sat.conflicts);
+
+  // Analytical engines never run a solver.
+  const MapResult lnn = map_qft("lnn", 8);
+  EXPECT_EQ(lnn.timings.sat.solve_calls, 0);
+  EXPECT_EQ(lnn.timings.sat.decisions, 0);
+}
+
+TEST(PipelineOptions, SatmapSolverBackendSelectable) {
+  MapOptions opts;
+  opts.satmap.time_budget_seconds = 60.0;
+  opts.satmap.solver = "dpll";
+  const MapResult r = map_qft("satmap", 2, opts);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+
+  MapOptions bogus;
+  bogus.satmap.solver = "no-such-backend";
+  EXPECT_THROW(map_qft("satmap", 2, bogus), std::invalid_argument);
 }
 
 // ------------------------------------------------------- batch front-end --

@@ -156,6 +156,62 @@ TEST(Sat, TimeoutReported) {
   EXPECT_NE(s.solve(1e-6), Result::kSat);
 }
 
+TEST(Sat, AssumptionsPinDecisionsForOneCall) {
+  Solver s;
+  const auto a = s.new_var(), b = s.new_var();
+  s.add_binary(Lit::pos(a), Lit::pos(b));
+  ASSERT_EQ(s.solve({Lit::neg(a)}), Result::kSat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  EXPECT_EQ(s.solve({Lit::neg(a), Lit::neg(b)}), Result::kUnsat);
+  // Cores-free semantics: the refutation was scoped to the call.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Sat, LearntClausesAreRetainedAcrossCalls) {
+  // Refuting an activation literal forces real conflict analysis; the learnt
+  // clauses must survive into the next call (the whole point of driving
+  // SATMAP's deepening through one incremental instance).
+  Solver s;
+  const int pigeons = 4, holes = 3;
+  std::vector<std::vector<std::int32_t>> x(pigeons,
+                                           std::vector<std::int32_t>(holes));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.new_var();
+  }
+  const auto act = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> row{Lit::neg(act)};
+    for (int h = 0; h < holes; ++h) row.push_back(Lit::pos(x[p][h]));
+    s.add_clause(row);  // act -> pigeon p is placed
+  }
+  for (int h = 0; h < holes; ++h) {
+    std::vector<Lit> col;
+    for (int p = 0; p < pigeons; ++p) col.push_back(Lit::pos(x[p][h]));
+    add_at_most_one(s, col);
+  }
+  const std::int64_t original = s.num_clauses();
+  EXPECT_EQ(s.solve({Lit::pos(act)}), Result::kUnsat);
+  EXPECT_GT(s.num_conflicts(), 0);
+  EXPECT_GE(s.num_clauses(), original) << "learnt clauses must be retained";
+  // Without the activation the relaxed instance is SAT in the same solver.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Sat, StatsCountersAreMonotone) {
+  Solver s;
+  const auto a = s.new_var(), b = s.new_var();
+  s.add_binary(Lit::pos(a), Lit::pos(b));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  const SolverStats first = s.stats();
+  EXPECT_EQ(first.solve_calls, 1);
+  ASSERT_EQ(s.solve({Lit::neg(b)}), Result::kSat);
+  const SolverStats second = s.stats();
+  EXPECT_EQ(second.solve_calls, 2);
+  EXPECT_GE(second.decisions, first.decisions);
+  EXPECT_GE(second.propagations, first.propagations);
+}
+
 TEST(Cardinality, AtMostKBoundary) {
   const int n = 5;
   for (int k = 0; k < n; ++k) {

@@ -130,14 +130,15 @@ TEST(Service, QueuedJobCancelsImmediatelyWithoutWorkerTime) {
 }
 
 TEST(Service, MidSatmapCancellationReturnsWithinBudget) {
-  // QFT-8 keeps SATMAP busy for seconds (iterative deepening, then swap
-  // minimization burns toward the budget). The token is polled inside the
-  // CDCL search and between solves, so cancelling the in-flight job must
-  // return in milliseconds — far inside the 60 s budget.
+  // QFT-10 keeps SATMAP busy for seconds even on the incremental driver
+  // (iterative deepening, then swap minimization burns toward the budget).
+  // The token is polled inside the solver search and between probes, so
+  // cancelling the in-flight job must return in milliseconds — far inside
+  // the 60 s budget.
   MappingService service{service_options(1)};
   MapOptions opts;
   opts.satmap.time_budget_seconds = 60.0;
-  JobHandle job = service.submit({"satmap", 8, opts});
+  JobHandle job = service.submit({"satmap", 10, opts});
 
   WallTimer spin;
   while (job.status() == JobStatus::kQueued && spin.seconds() < 10.0) {
@@ -194,7 +195,7 @@ TEST(Service, SatmapDeadlineClampsTheSolverBudget) {
   MappingService::Submit submit;
   submit.deadline_seconds = 0.15;
   WallTimer timer;
-  const JobResult out = service.submit({"satmap", 8, opts}, submit).wait();
+  const JobResult out = service.submit({"satmap", 10, opts}, submit).wait();
   EXPECT_EQ(out.status, JobStatus::kExpired);
   EXPECT_NE(out.error.find("deadline"), std::string::npos) << out.error;
   EXPECT_LT(timer.seconds(), 30.0);
@@ -393,6 +394,44 @@ TEST(ResultCache, KeyCoversEveryResultShapingKnob) {
     o.incremental_verify = false;
     EXPECT_NE(ResultCache::key("lattice", 16, o), k);
   }
+  // Every SATMAP field that shapes output must fragment the key — a stale
+  // hit here would silently return wrong-backend results.
+  {
+    MapOptions o;
+    o.satmap.time_budget_seconds = 99.0;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.satmap.max_layers = 7;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.satmap.minimize_swaps = false;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.satmap.solver = "dpll";
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.satmap.incremental = false;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  // SABRE knobs, same audit.
+  {
+    MapOptions o;
+    o.sabre.trials = 9;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.sabre.extended_weight += 0.25;
+    EXPECT_NE(ResultCache::key("lattice", 16, o), k);
+  }
   // Serving knobs must NOT fragment the key: a deadlined re-request of the
   // same mapping is still a hit.
   {
@@ -401,6 +440,14 @@ TEST(ResultCache, KeyCoversEveryResultShapingKnob) {
     std::atomic<bool> token{false};
     o.cancel = &token;
     EXPECT_EQ(ResultCache::key("lattice", 16, o), k);
+  }
+  {
+    MapOptions o;
+    o.satmap.dump_cnf_path = "/tmp/debug.cnf";
+    sat::SolverStats sink;
+    o.satmap.stats_out = &sink;
+    EXPECT_EQ(ResultCache::key("lattice", 16, o), k)
+        << "debug hooks never shape the result";
   }
   EXPECT_NE(ResultCache::key("lattice", 25, base), k);
   EXPECT_NE(ResultCache::key("grid", 16, base), k);
@@ -440,6 +487,57 @@ TEST(Serve, ParsesTheDocumentedRequestShape) {
   EXPECT_EQ(req.submit.priority, 3);
   EXPECT_DOUBLE_EQ(req.submit.deadline_seconds, 1.5);
   EXPECT_FALSE(req.submit.use_cache);
+}
+
+TEST(Serve, ParsesTheSatBackendKnobs) {
+  const ServeRequest req = parse_serve_request(
+      R"({"id": 9, "engine": "satmap", "n": 4, "budget": 30.0,)"
+      R"( "solver": "dpll", "sat_incremental": false})");
+  ASSERT_TRUE(req.ok) << req.error;
+  EXPECT_EQ(req.request.options.satmap.solver, "dpll");
+  EXPECT_FALSE(req.request.options.satmap.incremental);
+  EXPECT_DOUBLE_EQ(req.request.options.satmap.time_budget_seconds, 30.0);
+
+  // Defaults when absent.
+  const ServeRequest plain =
+      parse_serve_request(R"({"engine": "satmap", "n": 4})");
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(plain.request.options.satmap.solver, "cdcl");
+  EXPECT_TRUE(plain.request.options.satmap.incremental);
+
+  EXPECT_FALSE(
+      parse_serve_request(R"({"engine": "satmap", "n": 4, "solver": 3})").ok);
+  EXPECT_FALSE(
+      parse_serve_request(R"({"engine": "satmap", "n": 4, "solver": ""})").ok);
+  EXPECT_FALSE(parse_serve_request(
+                   R"({"engine": "satmap", "n": 4, "sat_incremental": 1})")
+                   .ok);
+}
+
+TEST(Serve, SatmapResponsesCarrySolverStats) {
+  // An unknown backend fails in-band; a solved run reports its search
+  // effort; analytical responses keep their pre-PR shape.
+  std::istringstream in(
+      "{\"id\": 1, \"engine\": \"satmap\", \"n\": 3, \"budget\": 60}\n"
+      "{\"id\": 2, \"engine\": \"satmap\", \"n\": 3, \"solver\": \"bogus\"}\n"
+      "{\"id\": 3, \"engine\": \"lnn\", \"n\": 8}\n");
+  std::ostringstream out;
+  MappingService service{service_options(1)};
+  EXPECT_EQ(run_serve_loop(in, out, service), 0);
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u) << out.str();
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"sat_conflicts\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"sat_solve_calls\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("unknown solver backend"), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(lines[2].find("\"sat_conflicts\""), std::string::npos)
+      << "analytical engines must not grow SAT fields";
 }
 
 TEST(Serve, RejectsMalformedLinesWithTheIdEchoed) {
@@ -518,7 +616,7 @@ TEST(Service, DestructionCancelsRunningJobsInsteadOfWaitingOutBudgets) {
     MappingService service{service_options(1)};
     MapOptions opts;
     opts.satmap.time_budget_seconds = 60.0;
-    job = service.submit({"satmap", 8, opts});
+    job = service.submit({"satmap", 10, opts});
     WallTimer spin;
     while (job.status() == JobStatus::kQueued && spin.seconds() < 10.0) {
       std::this_thread::sleep_for(1ms);
