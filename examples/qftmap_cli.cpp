@@ -8,12 +8,20 @@
 //   qftmap --arch sabre     --n 16  [--trials T]
 //   qftmap --arch satmap    --n 5   [--budget SECONDS] [--solver BACKEND]
 //                                   [--monolithic-sat] [--dump-cnf FILE.cnf]
+//   qftmap --arch sycamore  --input circuit.qasm
 //   ... [--aqft K] [--cnot-basis] [--quiet]
 //
 // Every engine is selected by its registry name (`--list` enumerates them);
 // the pipeline builds the native coupling graph, maps, and verifies with the
 // static checker. Small instances are additionally simulated. Output can be
 // written as OpenQASM 2.0.
+//
+// `--input FILE.qasm` switches to general-circuit ingestion: the file is
+// parsed with from_qasm and routed onto the selected architecture through
+// MapperPipeline::run_circuit (structured engines contribute their native
+// topology and route with SABRE; satmap runs its SAT router), then verified
+// gate-for-gate by the general checker — any OpenQASM 2.0 producer can feed
+// this, not just our own QFT generator.
 //
 // SATMAP runs on a pluggable SAT backend (`--list-solvers` enumerates the
 // registry; default "cdcl"). `--dump-cnf` exports the instance in flight
@@ -28,6 +36,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "circuit/stats.hpp"
@@ -44,7 +53,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --arch ENGINE (--n N | --m M) [--out FILE] [--strict-ie] "
+      "usage: %s --arch ENGINE (--n N | --m M | --input FILE.qasm) "
+      "[--out FILE] [--strict-ie] "
       "[--synced] [--trials T] [--budget SECONDS] [--solver BACKEND] "
       "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
       "[--quiet]\n       %s --serve [--threads T] [--cache-entries N]\n"
@@ -73,7 +83,7 @@ int list_solvers() {
 
 int main(int argc, char** argv) {
   using namespace qfto;
-  std::string arch, out_path;
+  std::string arch, out_path, input_path;
   std::int32_t n = -1, m = -1, aqft = -1;
   MapOptions opts;
   bool cnot_basis = false, quiet = false, serve = false;
@@ -135,6 +145,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opts.satmap.dump_cnf_path = v;
+    } else if (a == "--input") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      input_path = v;
     } else if (a == "--out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -157,10 +171,26 @@ int main(int argc, char** argv) {
   }
   if (arch.empty()) return usage(argv[0]);
   if (n <= 0 && m > 0) n = m * m;  // square backends take --m for convenience
-  if (n <= 0) return usage(argv[0]);
+  // --input is the size authority for general circuits; mixing it with an
+  // explicit size is ambiguous, so it's rejected like a missing size.
+  if (input_path.empty() ? n <= 0 : n > 0) return usage(argv[0]);
 
   try {
-    MapResult result = map_qft(arch, n, opts);
+    Circuit input;  // parsed --input circuit; empty on the QFT path
+    MapResult result;
+    if (!input_path.empty()) {
+      std::ifstream in(input_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      input = from_qasm(text.str());
+      result = map_circuit(arch, input, opts);
+    } else {
+      result = map_qft(arch, n, opts);
+    }
     if (!result.check.ok) {
       std::fprintf(stderr, "INTERNAL ERROR — verification failed: %s\n",
                    result.check.error.c_str());
@@ -168,7 +198,9 @@ int main(int argc, char** argv) {
     }
     double sim_err = -1.0;
     if (result.mapped.num_physical() <= 14) {
-      sim_err = mapped_equivalence_error(result.mapped);
+      sim_err = mapped_equivalence_error(
+          result.mapped, 4, 0x51ab5,
+          input_path.empty() ? nullptr : &input);
     }
 
     if (aqft > 0) {
@@ -180,6 +212,10 @@ int main(int argc, char** argv) {
 
     if (!quiet) {
       std::printf("engine         : %s\n", result.engine.c_str());
+      if (!input_path.empty()) {
+        std::printf("input          : %s (%zu gates over %d qubits)\n",
+                    input_path.c_str(), input.size(), input.num_qubits());
+      }
       std::printf("backend        : %s (%d physical qubits)\n",
                   result.graph.name().c_str(), result.graph.num_qubits());
       if (result.n != result.requested_n) {

@@ -1,6 +1,17 @@
 #include "circuit/circuit.hpp"
 
+#include <cstring>
+
+#include "common/prng.hpp"
+
 namespace qfto {
+
+namespace {
+
+/// Hash-combine via the shared SplitMix64 (full-avalanche finalizer).
+std::uint64_t mix64(std::uint64_t x) { return SplitMix64(x).next(); }
+
+}  // namespace
 
 Circuit::Circuit(std::int32_t num_qubits) : num_qubits_(num_qubits) {
   require(num_qubits >= 0, "Circuit: negative qubit count");
@@ -20,6 +31,20 @@ void Circuit::extend(const Circuit& other) {
   require(other.num_qubits_ == num_qubits_,
           "Circuit::extend: qubit count mismatch");
   gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+std::uint64_t Circuit::fingerprint() const {
+  std::uint64_t h = mix64(0x51ab5u ^ static_cast<std::uint64_t>(num_qubits_));
+  for (const auto& g : gates_) {
+    std::uint64_t angle_bits = 0;
+    std::memcpy(&angle_bits, &g.angle, sizeof(angle_bits));
+    h = mix64(h ^ static_cast<std::uint64_t>(g.kind));
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.q0))
+                   << 32 |
+                   static_cast<std::uint32_t>(g.q1)));
+    h = mix64(h ^ angle_bits);
+  }
+  return h;
 }
 
 std::string Circuit::to_string() const {

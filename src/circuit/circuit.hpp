@@ -33,6 +33,13 @@ class Circuit {
   /// Multi-line dump, one gate per line (debugging / golden tests).
   std::string to_string() const;
 
+  /// Order-sensitive 64-bit content fingerprint over (num_qubits, every
+  /// gate's kind/qubits/angle bit pattern). This is what keys general
+  /// circuits in the ResultCache, so two different circuits of the same size
+  /// and options never collide on a cache entry (up to 64-bit hash
+  /// collisions).
+  std::uint64_t fingerprint() const;
+
  private:
   std::int32_t num_qubits_ = 0;
   std::vector<Gate> gates_;

@@ -5,6 +5,7 @@
 // deterministic requests are served from the service's ResultCache.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,13 @@ struct BatchRequest {
   std::string engine;
   std::int32_t n = 0;
   MapOptions options;  // `target`, if set, must outlive the batch call
+  /// Non-null switches the job to the general entry point: map *this*
+  /// circuit (MapperPipeline::run_circuit) instead of QFT(n). `n` must then
+  /// equal circuit->num_qubits() (or be 0: submit() fills it in). Held by
+  /// shared_ptr so queued jobs and the serve front-end never deep-copy a
+  /// large parsed circuit. Last member so existing {engine, n, options}
+  /// aggregate initializers stay valid.
+  std::shared_ptr<const Circuit> circuit;
 };
 
 /// Per-request outcome. Engine failures (unknown engine, SATMAP TLE, bad

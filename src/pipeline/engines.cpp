@@ -177,10 +177,8 @@ class SabreEngine final : public MapperEngine {
                             const MapOptions& opts) const override {
     return routed_target(n, opts, "sabre");
   }
-  MappedCircuit map(std::int32_t n, const CouplingGraph& g,
-                    const MapOptions& opts) const override {
-    return sabre_route(qft_logical(n), g, opts.sabre);
-  }
+  // map()/map_circuit() are the base-class defaults: route the circuit (or
+  // the QFT spec) with SABRE on the target graph.
 };
 
 class SatmapEngine final : public MapperEngine {
@@ -198,11 +196,12 @@ class SatmapEngine final : public MapperEngine {
                             const MapOptions& opts) const override {
     return routed_target(n, opts, "satmap");
   }
-  MappedCircuit map(std::int32_t n, const CouplingGraph& g,
-                    const MapOptions& opts) const override {
+  MappedCircuit map_circuit(const Circuit& logical, const CouplingGraph& g,
+                            const MapOptions& opts) const override {
     // Serving hooks: a deadlined job hands SATMAP only the remaining budget
     // (so it TLEs inside the deadline), and the cancel token reaches the
-    // CDCL search loop for mid-solve abort.
+    // CDCL search loop for mid-solve abort. map() inherits the base-class
+    // QFT-spec wrapper, so QFT and general requests share this one path.
     SatmapOptions sopts = opts.satmap;
     sopts.cancel = opts.cancel;
     if (opts.deadline_seconds > 0.0 &&
@@ -210,7 +209,7 @@ class SatmapEngine final : public MapperEngine {
          opts.deadline_seconds < sopts.time_budget_seconds)) {
       sopts.time_budget_seconds = opts.deadline_seconds;
     }
-    const SatmapResult result = satmap_route(qft_logical(n), g, sopts);
+    const SatmapResult result = satmap_route(logical, g, sopts);
     if (result.cancelled) {
       throw MapCancelled(false, "satmap: cancelled mid-solve");
     }

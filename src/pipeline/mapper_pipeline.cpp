@@ -3,9 +3,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "circuit/qft_spec.hpp"
 #include "common/timer.hpp"
+#include "verify/circuit_checker.hpp"
 
 namespace qfto {
+
+MappedCircuit MapperEngine::map(std::int32_t n, const CouplingGraph& g,
+                                const MapOptions& opts) const {
+  return map_circuit(qft_logical(n), g, opts);
+}
+
+MappedCircuit MapperEngine::map_circuit(const Circuit& logical,
+                                        const CouplingGraph& g,
+                                        const MapOptions& opts) const {
+  return sabre_route(logical, g, opts.sabre);
+}
 
 void MapperPipeline::register_engine(
     std::unique_ptr<const MapperEngine> engine) {
@@ -45,43 +58,43 @@ const MapperEngine& MapperPipeline::at(const std::string& name) const {
   return *engine;
 }
 
-MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
-                              const MapOptions& opts) const {
-  require(n >= 1, "MapperPipeline::run: n >= 1");
-  // Sane ceiling: keeps native-size arithmetic (rounding up to squares /
-  // multiples of five) comfortably inside int32 on hostile CLI input.
-  require(n <= 16'777'216, "MapperPipeline::run: n too large");
-  const MapperEngine& engine = at(engine_name);
+namespace {
 
-  // Serving checks: between stages the run honours the cooperative cancel
-  // token and the per-run deadline. Analytical engines finish a stage in
-  // microseconds-to-milliseconds, so stage granularity bounds cancel
-  // latency; SATMAP additionally polls the token mid-solve.
-  Deadline deadline(opts.deadline_seconds);
-  const auto ensure_live = [&](const char* stage) {
-    if (opts.cancel != nullptr &&
-        opts.cancel->load(std::memory_order_relaxed)) {
+/// Serving checks shared by both entry points: between stages the run
+/// honours the cooperative cancel token and the per-run deadline. Analytical
+/// engines finish a stage in microseconds-to-milliseconds, so stage
+/// granularity bounds cancel latency; SATMAP additionally polls the token
+/// mid-solve.
+class LiveGuard {
+ public:
+  explicit LiveGuard(const MapOptions& opts)
+      : opts_(opts), deadline_(opts.deadline_seconds) {}
+
+  void ensure(const char* stage) const {
+    if (opts_.cancel != nullptr &&
+        opts_.cancel->load(std::memory_order_relaxed)) {
       throw MapCancelled(false, std::string("cancelled before ") + stage);
     }
-    if (opts.deadline_seconds > 0.0 && deadline.expired()) {
+    if (opts_.deadline_seconds > 0.0 && deadline_.expired()) {
       throw MapCancelled(true,
                          std::string("deadline exceeded before ") + stage);
     }
-  };
+  }
 
-  MapResult result;
-  result.engine = engine.name();
-  result.requested_n = n;
-  result.n = engine.native_size(n);
-  ensure_live("graph build");
-  result.graph = engine.build_graph(result.n, opts);
-  ensure_live("map");
+ private:
+  const MapOptions& opts_;
+  Deadline deadline_;
+};
 
+/// Runs the map stage with the SAT stats sink installed so SAT-backed
+/// engines report their search effort into MapResult::timings; a caller-
+/// supplied sink still gets the numbers — also on engine failure (a TLE'd
+/// SATMAP run throws after recording real counters, the primary diagnostic
+/// use of the sink).
+template <typename MapFn>
+void timed_map_stage(MapResult& result, const MapOptions& opts,
+                     MapFn&& map_fn) {
   WallTimer timer;
-  // Install a stats sink so SAT-backed engines report their search effort
-  // into MapResult::timings; a caller-supplied sink still gets the numbers —
-  // also on engine failure (a TLE'd SATMAP run throws after recording real
-  // counters, the primary diagnostic use of the sink).
   MapOptions map_opts = opts;
   map_opts.satmap.stats_out = &result.timings.sat;
   const auto copy_back_stats = [&]() {
@@ -90,17 +103,41 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
     }
   };
   try {
-    result.mapped = engine.map(result.n, result.graph, map_opts);
+    result.mapped = map_fn(map_opts);
   } catch (...) {
     copy_back_stats();
     throw;
   }
   copy_back_stats();
   result.timings.map_seconds = timer.seconds();
-  ensure_live("verify");
+}
+
+}  // namespace
+
+MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
+                              const MapOptions& opts) const {
+  require(n >= 1, "MapperPipeline::run: n >= 1");
+  // Sane ceiling: keeps native-size arithmetic (rounding up to squares /
+  // multiples of five) comfortably inside int32 on hostile CLI input.
+  require(n <= 16'777'216, "MapperPipeline::run: n too large");
+  const MapperEngine& engine = at(engine_name);
+  const LiveGuard live(opts);
+
+  MapResult result;
+  result.engine = engine.name();
+  result.requested_n = n;
+  result.n = engine.native_size(n);
+  live.ensure("graph build");
+  result.graph = engine.build_graph(result.n, opts);
+  live.ensure("map");
+
+  timed_map_stage(result, opts, [&](const MapOptions& map_opts) {
+    return engine.map(result.n, result.graph, map_opts);
+  });
+  live.ensure("verify");
 
   if (opts.verify) {
-    timer.reset();
+    WallTimer timer;
     const LatencyModel latency = engine.latency_model(result.graph);
     // Streaming path: one fused pass (adjacency/ordering/angle checks, ASAP
     // depth, gate counts) through IncrementalQftChecker. The replay path is
@@ -115,6 +152,45 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   return result;
 }
 
+MapResult MapperPipeline::run_circuit(const std::string& engine_name,
+                                      const Circuit& logical,
+                                      const MapOptions& opts) const {
+  const std::int32_t n = logical.num_qubits();
+  require(n >= 1, "MapperPipeline::run_circuit: circuit has no qubits");
+  require(n <= 16'777'216, "MapperPipeline::run_circuit: circuit too large");
+  const MapperEngine& engine = at(engine_name);
+  const LiveGuard live(opts);
+
+  MapResult result;
+  result.engine = engine.name();
+  // A circuit is never resized: both size fields report its qubit count and
+  // result.graph carries the (possibly snapped-larger) physical register.
+  result.requested_n = n;
+  result.n = n;
+  live.ensure("graph build");
+  result.graph = engine.build_graph(engine.native_size(n), opts);
+  require(result.graph.num_qubits() >= n,
+          "MapperPipeline::run_circuit: engine graph smaller than the "
+          "circuit");
+  live.ensure("map");
+
+  timed_map_stage(result, opts, [&](const MapOptions& map_opts) {
+    return engine.map_circuit(logical, result.graph, map_opts);
+  });
+  live.ensure("verify");
+
+  if (opts.verify) {
+    WallTimer timer;
+    // General inputs verify through the MappingTracker-based replay matcher
+    // (per-entry-point verification: only QFT requests can use the QFT-spec
+    // streaming checker).
+    result.check = check_circuit_mapping(result.mapped, logical, result.graph,
+                                         engine.latency_model(result.graph));
+    result.timings.check_seconds = timer.seconds();
+  }
+  return result;
+}
+
 const MapperPipeline& MapperPipeline::global() {
   static const MapperPipeline pipeline = MapperPipeline::with_paper_engines();
   return pipeline;
@@ -123,6 +199,11 @@ const MapperPipeline& MapperPipeline::global() {
 MapResult map_qft(const std::string& arch, std::int32_t n,
                   const MapOptions& opts) {
   return MapperPipeline::global().run(arch, n, opts);
+}
+
+MapResult map_circuit(const std::string& arch, const Circuit& logical,
+                      const MapOptions& opts) {
+  return MapperPipeline::global().run_circuit(arch, logical, opts);
 }
 
 }  // namespace qfto

@@ -154,9 +154,23 @@ class MapperEngine {
   }
 
   /// Maps QFT(n) onto `g` (n native, g = build_graph(n, opts)). Throws on
-  /// engine failure (e.g. SATMAP exhausting its time budget).
+  /// engine failure (e.g. SATMAP exhausting its time budget). The default
+  /// is a thin QFT-spec wrapper: route qft_logical(n) through map_circuit —
+  /// which is exactly what the routed baselines do; structured mappers
+  /// override with their analytical constructions.
   virtual MappedCircuit map(std::int32_t n, const CouplingGraph& g,
-                            const MapOptions& opts) const = 0;
+                            const MapOptions& opts) const;
+
+  /// Maps an arbitrary logical circuit onto `g`
+  /// (g = build_graph(native_size(logical.num_qubits()), opts), which may be
+  /// larger than the circuit). The default routes with SABRE on the engine's
+  /// native topology, so every registered engine — including the structured
+  /// QFT mappers, whose contribution is then their graph and latency model —
+  /// accepts general circuits; SAT-backed engines override with their own
+  /// router.
+  virtual MappedCircuit map_circuit(const Circuit& logical,
+                                    const CouplingGraph& g,
+                                    const MapOptions& opts) const;
 };
 
 /// String-keyed engine registry plus the run loop (map → check → package).
@@ -187,6 +201,17 @@ class MapperPipeline {
   MapResult run(const std::string& engine, std::int32_t n,
                 const MapOptions& opts = {}) const;
 
+  /// General-circuit pipeline: build the engine's native graph (snapped to
+  /// fit the circuit), route the supplied circuit onto it, and verify with
+  /// the general checker (verify/circuit_checker.hpp) under the engine's
+  /// latency model. Unlike run(), verification is per-entry-point: QFT
+  /// requests keep the streaming IncrementalQftChecker, arbitrary circuits
+  /// are replayed through the MappingTracker-based matcher. requested_n and
+  /// n both report the circuit's qubit count (a circuit is never resized);
+  /// MapResult::graph carries the possibly-larger physical register.
+  MapResult run_circuit(const std::string& engine, const Circuit& logical,
+                        const MapOptions& opts = {}) const;
+
  private:
   std::map<std::string, std::unique_ptr<const MapperEngine>> engines_;
 };
@@ -194,5 +219,10 @@ class MapperPipeline {
 /// Facade over MapperPipeline::global().
 MapResult map_qft(const std::string& arch, std::int32_t n,
                   const MapOptions& opts = {});
+
+/// General-circuit facade over MapperPipeline::global() — any OpenQASM
+/// producer's entry point: `map_circuit(arch, from_qasm(text))`.
+MapResult map_circuit(const std::string& arch, const Circuit& logical,
+                      const MapOptions& opts = {});
 
 }  // namespace qfto

@@ -19,8 +19,18 @@ std::string to_qasm(const Circuit& c);
 std::string to_qasm(const MappedCircuit& mc);
 
 /// Parses the subset emitted by to_qasm (OPENQASM 2.0; qelib1.inc; gates
-/// h, x, rz, cu1/cp, swap, cx on a single register). Throws
-/// std::invalid_argument with a line number on malformed input.
+/// h, x, rz, cu1/cp, swap, cx on a single register; `barrier` with or
+/// without an operand list). Throws std::invalid_argument with a line
+/// number on malformed input — that is the only exception this parser may
+/// escape with, on any byte sequence (enforced by the fuzz harness).
 Circuit from_qasm(const std::string& text);
+
+/// from_qasm plus the `// initial/final mapping` header comments
+/// to_qasm(MappedCircuit) writes, making the pair a true round trip. A file
+/// without mapping comments parses as an identity-mapped kernel; a file with
+/// exactly one of the two comments, non-sequential entries, or a
+/// non-injective mapping is rejected (std::invalid_argument, like
+/// from_qasm).
+MappedCircuit mapped_from_qasm(const std::string& text);
 
 }  // namespace qfto

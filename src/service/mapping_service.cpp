@@ -180,6 +180,11 @@ JobHandle MappingService::submit(BatchRequest request) {
 }
 
 JobHandle MappingService::submit(BatchRequest request, Submit submit) {
+  // General-circuit convenience: a request carrying a circuit may leave n
+  // unset; the circuit is the size authority.
+  if (request.circuit != nullptr && request.n <= 0) {
+    request.n = request.circuit->num_qubits();
+  }
   auto state = std::make_shared<detail::JobState>();
   state->request = std::move(request);
   state->priority = submit.priority;
@@ -254,18 +259,25 @@ void MappingService::process(const std::shared_ptr<detail::JobState>& job) {
   }
 
   const BatchRequest& req = job->request;
+  if (req.circuit != nullptr && req.n != req.circuit->num_qubits()) {
+    detail::finish(*job, JobStatus::kFailed,
+                   "BatchRequest: n does not match the supplied circuit",
+                   nullptr);
+    return;
+  }
 
   // Cache probe: deterministic engine, no caller-owned target, and n inside
   // run()'s accepted range — native_size on an unvalidated huge n could
   // overflow int32 before run() gets to reject it, so out-of-range sizes
-  // skip the probe and fall through for the real error.
+  // skip the probe and fall through for the real error. General-circuit
+  // requests fold their content fingerprint into the key.
   std::string key;
   if (job->use_cache && cache_.capacity() > 0 && req.n >= 1 &&
       req.n <= 16'777'216) {
     if (const MapperEngine* engine = pipeline_->find(req.engine)) {
       if (ResultCache::cacheable(*engine, req.options)) {
         key = ResultCache::key(req.engine, engine->native_size(req.n),
-                               req.options);
+                               req.options, req.circuit.get());
         if (auto cached = cache_.get(key)) {
           // Entries are stored pre-normalized (zero timings, cache_hit set,
           // requested_n = native n), so the common exact-native hit shares
@@ -300,7 +312,10 @@ void MappingService::process(const std::shared_ptr<detail::JobState>& job) {
   }
 
   try {
-    MapResult result = pipeline_->run(req.engine, req.n, run_opts);
+    MapResult result =
+        req.circuit != nullptr
+            ? pipeline_->run_circuit(req.engine, *req.circuit, run_opts)
+            : pipeline_->run(req.engine, req.n, run_opts);
     result.cache_hit = false;
     // Allocated non-const (then viewed as const) so a sole-owner consumer
     // like map_qft_batch may legally move the payload out.

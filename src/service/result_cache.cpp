@@ -28,12 +28,20 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
 }
 
 std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
-                             const MapOptions& opts) {
+                             const MapOptions& opts, const Circuit* circuit) {
   std::string k;
   k.reserve(engine.size() + 160);
   k += engine;
   k += '|';
   k += std::to_string(native_n);
+  if (circuit != nullptr) {
+    // Content fingerprint + gate count: distinct circuits get distinct keys,
+    // and "qft" (no |circ= segment) can never alias a general request.
+    k += "|circ=";
+    k += std::to_string(circuit->fingerprint());
+    k += ':';
+    k += std::to_string(circuit->size());
+  }
   k += "|ie=";
   k += opts.strict_ie ? '1' : '0';
   k += "|po=";

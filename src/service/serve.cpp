@@ -1,5 +1,7 @@
 #include "service/serve.hpp"
 
+#include "qasm/qasm.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <condition_variable>
@@ -312,6 +314,21 @@ ServeRequest parse_serve_request(const std::string& line) {
         return req;
       }
       req.request.options.satmap.incremental = value.flag;
+    } else if (key == "qasm") {
+      // General-circuit ingestion: the request maps this OpenQASM 2.0
+      // program (newlines arrive as \n escapes) instead of QFT(n). Parse
+      // errors surface in-band with from_qasm's line-numbered message.
+      if (value.kind != JsonValue::kString || value.str.empty()) {
+        req.error = "\"qasm\" must be a non-empty OpenQASM 2.0 string";
+        return req;
+      }
+      try {
+        req.request.circuit =
+            std::make_shared<const Circuit>(from_qasm(value.str));
+      } catch (const std::invalid_argument& e) {
+        req.error = std::string("bad \"qasm\": ") + e.what();
+        return req;
+      }
     } else {
       req.error = "unknown field \"" + json_escape(key) + "\"";
       return req;
@@ -321,6 +338,15 @@ ServeRequest parse_serve_request(const std::string& line) {
   if (req.request.engine.empty()) {
     req.error = "missing \"engine\"";
     return req;
+  }
+  if (req.request.circuit != nullptr) {
+    // The circuit is the size authority; a conflicting explicit size is a
+    // client bug we refuse to guess around.
+    if (n >= 0 || m >= 0) {
+      req.error = "\"qasm\" is mutually exclusive with \"n\"/\"m\"";
+      return req;
+    }
+    n = req.request.circuit->num_qubits();
   }
   if (m > 4096) {  // 4096^2 is already the n ceiling; also guards m*m
     req.error = "\"m\" too large";

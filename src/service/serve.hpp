@@ -7,10 +7,16 @@
 //   {"id": 2, "engine": "satmap", "n": 4, "deadline": 5.0}
 //   {"id": 3, "engine": "sycamore", "m": 6, "strict_ie": true,
 //    "priority": 10}
+//   {"id": 4, "engine": "sabre",
+//    "qasm": "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\n"}
 //
-// Fields: `engine` (required), `n` or `m` (required; `m` means n = m*m),
-// `id` (number or string, echoed back; null when absent), `priority`
-// (higher first), `deadline` (seconds), `cache` (bool, default true),
+// Fields: `engine` (required), `n` or `m` (required unless `qasm` is given;
+// `m` means n = m*m), `qasm` (an OpenQASM 2.0 program — the request maps
+// *that* circuit through the general entry point instead of QFT(n); parse
+// errors come back in-band with from_qasm's line-numbered message; mutually
+// exclusive with `n`/`m`), `id` (number or string, echoed back; null when
+// absent), `priority` (higher first), `deadline` (seconds), `cache` (bool,
+// default true; general circuits are cached under a content fingerprint),
 // `verify` (bool, default true), `strict_ie`, `synced`, `trials`, `seed`,
 // `budget` (SATMAP seconds), `solver` (SAT backend registry key, default
 // "cdcl"), `sat_incremental` (bool, default true: one incremental SAT

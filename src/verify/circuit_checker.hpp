@@ -1,0 +1,38 @@
+// Static verifier for arbitrary mapped circuits — the general-circuit
+// counterpart of qft_checker. Where IncrementalQftChecker proves a hardware
+// circuit implements the QFT spec, this proves it implements a caller-
+// supplied logical circuit:
+//   1. every two-qubit gate acts on a coupling-graph edge;
+//   2. with SWAPs interpreted as permutation updates (MappingTracker), the
+//      remaining gates — translated back to logical labels — form a valid
+//      relaxed-DAG reordering of the logical circuit: a bijective, gate-for-
+//      gate matching in which only diagonal gates (CPHASE/RZ) may commute
+//      past each other (Insight 1 of the paper), which is unitarily sound;
+//   3. logical SWAP gates are handled by wire relabeling on the reference
+//      side (SWAP . U(a,b) = U(b,a) . SWAP exactly), so inputs containing
+//      explicit SWAPs verify whether the mapper emitted or absorbed them;
+//   4. the declared final mapping matches the tracked permutation.
+// Depth (under the supplied latency model) and gate counts are computed in
+// the same single pass. The simulation-based mapped_equivalence_error
+// remains the dynamic oracle on small sizes; this checker is the exhaustive,
+// size-independent one the pipeline's general entry point (map_circuit)
+// runs on every result.
+#pragma once
+
+#include "arch/coupling_graph.hpp"
+#include "arch/latency_model.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/mapped_circuit.hpp"
+#include "verify/qft_checker.hpp"
+
+namespace qfto {
+
+/// Verifies that `mc` implements `logical` on `g`. Shares QftCheckResult
+/// with the QFT checker so MapResult::check is entry-point agnostic.
+QftCheckResult check_circuit_mapping(const MappedCircuit& mc,
+                                     const Circuit& logical,
+                                     const CouplingGraph& g,
+                                     const LatencyModel& latency =
+                                         LatencyModel());
+
+}  // namespace qfto
