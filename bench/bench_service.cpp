@@ -17,17 +17,28 @@
 //   batch_via_service/n        — map_qft_batch riding the shared persistent
 //                                pool (the pre-service number spawned and
 //                                joined a fresh thread pool per call).
+//   socket_mixed_load/clients  — sustained req/s through the TCP front-end:
+//                                N concurrent socket clients pushing a mixed
+//                                QFT + general-QASM (sabre) stream through
+//                                the NetServer; p50/p99 map and queue
+//                                latency read back from the server's own
+//                                /metrics histograms.
 //
 // Items/sec counts requests; UseRealTime everywhere because the work happens
 // on service workers while the benchmark thread blocks in wait().
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pipeline/batch.hpp"
 #include "service/mapping_service.hpp"
+#include "service/net_server.hpp"
+#include "service/serve.hpp"
+#include "service/transport.hpp"
 
 namespace {
 
@@ -154,7 +165,79 @@ BENCHMARK_CAPTURE(service_cached, sycamore, "sycamore")
 BENCHMARK_CAPTURE(service_cached, lattice, "lattice")
     ->Arg(256)->Arg(1024)->UseRealTime();
 
+void socket_mixed_load(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kPerClientPerIter = 8;
+  MappingService service{options_with(0, /*cache_capacity=*/4096)};
+  net::NetServer::Options sopts;
+  sopts.host = "127.0.0.1";
+  sopts.port = 0;  // ephemeral
+  net::NetServer server(service, sopts);
+  server.start();
+
+  // JSON-escaped OpenQASM 2.0 payload: the general-circuit ingestion path
+  // (from_qasm + sabre) mixed in with the QFT engines.
+  const std::string qasm =
+      "OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[4];\\n"
+      "h q[0];\\ncx q[0],q[1];\\ncx q[1],q[2];\\ncx q[2],q[3];\\n";
+  const std::vector<std::string> payloads = {
+      "{\"engine\":\"lattice\",\"n\":256}",
+      "{\"engine\":\"sycamore\",\"n\":100}",
+      "{\"engine\":\"lnn\",\"n\":128}",
+      "{\"engine\":\"sabre\",\"trials\":1,\"qasm\":\"" + qasm + "\"}",
+  };
+
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::string error;
+        net::Socket sock = net::dial(server.host(), server.port(), &error);
+        if (!sock.valid()) {
+          failed = true;
+          return;
+        }
+        net::LineReader reader(sock);
+        std::string batch;
+        for (int r = 0; r < kPerClientPerIter; ++r) {
+          batch += payloads[(c + r) % payloads.size()] + "\n";
+        }
+        if (!sock.send_all(batch)) {
+          failed = true;
+          return;
+        }
+        std::string line;
+        for (int r = 0; r < kPerClientPerIter; ++r) {
+          if (!reader.next(line) ||
+              line.find("\"ok\":true") == std::string::npos) {
+            failed = true;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failed.load()) {
+      state.SkipWithError("socket client failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients) *
+                          kPerClientPerIter);
+  const ServeMetrics& m = server.metrics();
+  state.counters["map_p50_us"] = 1e6 * m.map_latency.quantile(0.5);
+  state.counters["map_p99_us"] = 1e6 * m.map_latency.quantile(0.99);
+  state.counters["queue_p50_us"] = 1e6 * m.queue_latency.quantile(0.5);
+  state.counters["queue_p99_us"] = 1e6 * m.queue_latency.quantile(0.99);
+  state.counters["shed"] =
+      static_cast<double>(m.shed.load(std::memory_order_relaxed));
+}
+
 BENCHMARK(service_queue_mixed)->UseRealTime();
 BENCHMARK(batch_via_service)->Arg(100)->Arg(256)->UseRealTime();
+BENCHMARK(socket_mixed_load)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace

@@ -32,12 +32,27 @@
 // requests on stdin are dispatched through the async MappingService
 // (priority queue, per-job deadlines, result cache) and JSON responses
 // stream to stdout — see src/service/serve.hpp for the protocol.
+//
+// `--serve --listen HOST:PORT` serves the same protocol over TCP to any
+// number of concurrent clients (plus a minimal HTTP adapter: GET /metrics,
+// POST /map) — see src/service/net_server.hpp. `--max-inflight` bounds
+// admitted jobs (excess is shed in-band); `--cache-file FILE` loads the
+// result cache at startup and saves it on clean shutdown, so a warmed cache
+// survives restarts. SIGTERM (or stdin EOF on an interactive stdin) drains
+// gracefully: stop accepting, finish in-flight work, then exit 0.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "circuit/stats.hpp"
 #include "circuit/transforms.hpp"
@@ -45,6 +60,7 @@
 #include "qasm/qasm.hpp"
 #include "sat/solver_interface.hpp"
 #include "service/mapping_service.hpp"
+#include "service/net_server.hpp"
 #include "service/serve.hpp"
 #include "verify/equivalence.hpp"
 
@@ -57,10 +73,61 @@ int usage(const char* argv0) {
       "[--out FILE] [--strict-ie] "
       "[--synced] [--trials T] [--budget SECONDS] [--solver BACKEND] "
       "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
-      "[--quiet]\n       %s --serve [--threads T] [--cache-entries N]\n"
+      "[--quiet]\n       %s --serve [--threads T] [--cache-entries N] "
+      "[--listen HOST:PORT] [--max-inflight N] [--max-pending N] "
+      "[--drain-seconds S] [--cache-file FILE]\n"
       "       %s --list | --list-solvers\n",
       argv0, argv0, argv0);
   return 2;
+}
+
+// SIGTERM/SIGINT handler target. request_stop() only stores a lock-free
+// atomic, so calling it here is async-signal-safe.
+qfto::net::NetServer* g_server = nullptr;
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) {
+  g_stop_requested = 1;
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+/// stdin-EOF drain only applies when stdin is a real peer (terminal, pipe,
+/// socket). A detached daemon launched with `</dev/null` would otherwise
+/// read instant EOF and drain before serving anything.
+bool stdin_is_watchable() {
+  if (isatty(STDIN_FILENO)) return true;
+  struct stat st{};
+  if (fstat(STDIN_FILENO, &st) != 0) return false;
+  return S_ISFIFO(st.st_mode) || S_ISSOCK(st.st_mode);
+}
+
+/// Loads `path` into the service cache; a missing file is a cold start, not
+/// an error. Returns false only on a malformed file.
+bool load_cache_file(qfto::MappingService& service, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return true;  // cold start
+  std::string error;
+  if (!service.cache().load(in, &error)) {
+    std::fprintf(stderr, "warning: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Saves via tmp + rename so a crash mid-write never corrupts the old file.
+void save_cache_file(qfto::MappingService& service, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out || !service.cache().save(out)) {
+      std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "warning: rename %s: %s\n", tmp.c_str(),
+                 std::strerror(errno));
+  }
 }
 
 int list_engines() {
@@ -88,6 +155,8 @@ int main(int argc, char** argv) {
   MapOptions opts;
   bool cnot_basis = false, quiet = false, serve = false;
   MappingService::Options service_opts;
+  net::NetServer::Options net_opts;
+  std::string listen_spec, cache_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -110,6 +179,26 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       service_opts.cache_capacity =
           static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--listen") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      listen_spec = v;
+    } else if (a == "--max-inflight") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      net_opts.max_inflight = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--max-pending") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      net_opts.max_pending_per_conn = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--drain-seconds") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      net_opts.drain_seconds = std::atof(v);
+    } else if (a == "--cache-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cache_file = v;
     } else if (a == "--arch") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -167,7 +256,49 @@ int main(int argc, char** argv) {
   }
   if (serve) {
     MappingService service(service_opts);
-    return run_serve_loop(std::cin, std::cout, service);
+    if (!cache_file.empty()) load_cache_file(service, cache_file);
+    int rc = 0;
+    if (listen_spec.empty()) {
+      rc = run_serve_loop(std::cin, std::cout, service);
+    } else {
+      net::HostPort hp;
+      std::string error;
+      if (!net::parse_host_port(listen_spec, hp, error)) {
+        std::fprintf(stderr, "--listen: %s\n", error.c_str());
+        return 2;
+      }
+      net_opts.host = hp.host;
+      net_opts.port = hp.port;
+      try {
+        net::NetServer server(service, net_opts);
+        g_server = &server;
+        std::signal(SIGTERM, handle_stop_signal);
+        std::signal(SIGINT, handle_stop_signal);
+        // The smoke scripts and humans both need the resolved address —
+        // port 0 binds an ephemeral port.
+        std::fprintf(stderr, "listening on %s:%u\n", server.host().c_str(),
+                     static_cast<unsigned>(server.port()));
+        std::thread stdin_watch;
+        if (stdin_is_watchable()) {
+          stdin_watch = std::thread([&server] {
+            // Drain when the operator closes our stdin (^D, supervisor pipe
+            // teardown) — the stdio-serve convention, kept over TCP.
+            while (std::cin.get() != std::char_traits<char>::eof()) {
+            }
+            server.request_stop();
+          });
+          stdin_watch.detach();  // blocked in read(); exits with the process
+        }
+        server.run();
+        server.stop_and_drain();
+        g_server = nullptr;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (!cache_file.empty()) save_cache_file(service, cache_file);
+    return rc;
   }
   if (arch.empty()) return usage(argv[0]);
   if (n <= 0 && m > 0) n = m * m;  // square backends take --m for convenience

@@ -64,6 +64,29 @@ void finish(JobState& s, JobStatus status, std::string error,
   s.cv.notify_all();
 }
 
+/// Retires a job that never reached a worker (handle cancel, shutdown
+/// orphan, submit-after-stop). Every such path must report the same way:
+/// kCancelled, a "cancelled before start..." error, and an honest
+/// queue_seconds — a job that waited 2 s before shutdown orphaned it did
+/// queue for 2 s, and monitoring that reads 0.0 there under-counts queue
+/// pressure exactly when it matters. Caller holds s.mutex with
+/// s.status == kQueued.
+void retire_queued_locked(JobState& s, const char* reason) {
+  s.status = JobStatus::kCancelled;
+  s.error = reason;
+  s.queue_seconds =
+      seconds_since(s.submitted, std::chrono::steady_clock::now());
+  s.cv.notify_all();
+}
+
+/// Locking wrapper: retire iff still queued; running/terminal jobs only get
+/// the cancel token (running jobs cancel cooperatively, terminal no-op).
+void retire_queued(JobState& s, const char* reason) {
+  s.cancel.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.status == JobStatus::kQueued) retire_queued_locked(s, reason);
+}
+
 /// Max-heap order: higher priority first, FIFO within a priority level.
 bool pops_later(const std::shared_ptr<JobState>& a,
                 const std::shared_ptr<JobState>& b) {
@@ -116,11 +139,7 @@ bool JobHandle::cancel() const {
     // Retire immediately: no worker time is spent and waiters wake now. The
     // worker that eventually pops this entry sees a terminal status and
     // skips it.
-    s.status = JobStatus::kCancelled;
-    s.error = "cancelled before start";
-    s.queue_seconds =
-        detail::seconds_since(s.submitted, std::chrono::steady_clock::now());
-    s.cv.notify_all();
+    detail::retire_queued_locked(s, "cancelled before start");
     return true;
   }
   // kRunning: the token is set; the pipeline aborts between stages, SATMAP
@@ -164,13 +183,7 @@ MappingService::~MappingService() {
   }
   queue_cv_.notify_all();
   for (auto& job : orphans) {
-    job->cancel.store(true, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(job->mutex);
-    if (!detail::terminal(job->status)) {
-      job->status = JobStatus::kCancelled;
-      job->error = "service shutting down";
-      job->cv.notify_all();
-    }
+    detail::retire_queued(*job, "cancelled before start: service shutting down");
   }
   for (auto& worker : workers_) worker.join();
 }
@@ -204,9 +217,8 @@ JobHandle MappingService::submit(BatchRequest request, Submit submit) {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
-      std::lock_guard<std::mutex> job_lock(state->mutex);
-      state->status = JobStatus::kCancelled;
-      state->error = "service shutting down";
+      detail::retire_queued(*state,
+                            "cancelled before start: service shutting down");
       return JobHandle(std::move(state));
     }
     state->sequence = next_sequence_++;
@@ -349,6 +361,16 @@ void MappingService::process(const std::shared_ptr<detail::JobState>& job) {
   } catch (...) {
     detail::finish(*job, JobStatus::kFailed, "unknown error", nullptr);
   }
+}
+
+std::size_t MappingService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::size_t MappingService::running_count() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return running_.size();
 }
 
 MappingService& MappingService::shared() {

@@ -141,6 +141,16 @@ class MappingService {
   }
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Jobs waiting for a worker / currently on one — the /metrics queue-depth
+  /// signals and the NetServer's load-shedding inputs. Point-in-time reads;
+  /// by the time the caller acts the numbers may have moved.
+  std::size_t queue_depth() const;
+  std::size_t running_count() const;
+
+  /// Direct cache access for persistence (--cache-file save/load). The
+  /// cache is internally synchronized, so this is safe while workers run.
+  ResultCache& cache() { return cache_; }
+
  private:
   struct QueueOrder;
 
@@ -150,7 +160,7 @@ class MappingService {
   const MapperPipeline* pipeline_;
   ResultCache cache_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::priority_queue<std::shared_ptr<detail::JobState>,
                       std::vector<std::shared_ptr<detail::JobState>>,

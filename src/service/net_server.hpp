@@ -1,0 +1,125 @@
+// TCP front-end for the MappingService — the transport that turns the
+// single-client stdio serve loop into a multi-tenant server. One accept loop,
+// one reader/writer thread pair per connection, both speaking the exact
+// protocol of serve.hpp (parse_serve_request / serve_response_json), so the
+// stdio loop, the socket path and every test exercise the same request
+// grammar. Responses stream back in per-connection request order while jobs
+// run concurrently under the service's priority/deadline semantics.
+//
+// Two protocols share the port, sniffed from the first bytes of each
+// connection:
+//
+//   * newline-JSON (default): one request per line, one response line each,
+//     any number of requests per connection — `qftmap --serve` over TCP.
+//   * minimal HTTP/1.1: `GET /metrics` returns the metrics_json document;
+//     `POST /map` takes one request object as its body and returns the
+//     response JSON. One request per connection (Connection: close) — enough
+//     for curl and load balancer health checks, not a web server.
+//
+// Admission control: a configurable global in-flight bound and a
+// per-connection pending bound. A request over either limit is *shed* — the
+// client gets an immediate in-band `{"ok":false,"status":"shed",...}` (HTTP
+// 503) instead of a silently deepening queue; CHC-COMP-style
+// resource-limited well-formedness is the model. Graceful drain: stop
+// accepting, half-close every connection's read side, finish in-flight jobs
+// within a drain budget, then flip cancel tokens on whatever remains.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/serve.hpp"
+#include "service/transport.hpp"
+
+namespace qfto {
+namespace net {
+
+class NetServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; port() reports the actual one.
+    std::uint16_t port = 0;
+    /// Global bound on jobs submitted-but-unanswered across all
+    /// connections; requests past it are shed. 0 = unbounded.
+    std::size_t max_inflight = 1024;
+    /// Per-connection bound on queued responses (the reader stops admitting
+    /// new jobs for a connection whose writer is this far behind).
+    std::size_t max_pending_per_conn = 256;
+    /// stop_and_drain(): seconds to let in-flight jobs finish before their
+    /// cancel tokens are flipped.
+    double drain_seconds = 10.0;
+    /// SO_SNDTIMEO on accepted sockets: a client that stops reading for
+    /// this long is treated as dead (its pending jobs are cancelled).
+    int send_timeout_ms = 30000;
+    /// Protocol line-length bound (requests and HTTP headers).
+    std::size_t max_line = 1 << 20;
+  };
+
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// serving starts with run() or start().
+  NetServer(MappingService& service, Options options);
+
+  /// Equivalent to request_stop() + stop_and_drain().
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  const std::string& host() const { return listener_.host(); }
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Serving counters shared by every connection — the /metrics payload.
+  ServeMetrics& metrics() { return metrics_; }
+
+  /// Accept loop on the calling thread; returns once request_stop() is
+  /// called (connections may still be finishing — follow with
+  /// stop_and_drain()).
+  void run();
+
+  /// run() on a background thread (tests and benchmarks).
+  void start();
+
+  /// Stops the accept loop. Only stores an atomic flag, so it is safe to
+  /// call from a signal handler — the SIGTERM path in the CLI.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Graceful drain: stop accepting, close the listener, half-close every
+  /// connection (clients see EOF; no new requests are read), wait up to
+  /// drain_seconds for in-flight jobs and response writes to finish, then
+  /// cancel whatever is still pending and join all connection threads.
+  void stop_and_drain();
+
+ private:
+  struct Pending;
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void serve_http(Connection& conn, LineReader& reader,
+                  const std::string& request_line);
+  void writer_loop(Connection& conn);
+  /// Admission + parse of one request payload; returns the queue entry.
+  Pending make_entry(Connection& conn, std::string_view payload);
+  void reap_finished_locked();
+
+  MappingService* service_;
+  Options options_;
+  Listener listener_;
+  ServeMetrics metrics_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;  // only when start() was used
+  bool drained_ = false;
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace net
+}  // namespace qfto

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "qasm/qasm.hpp"
 
 namespace qfto {
 
@@ -20,10 +25,14 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
     : capacity_(capacity) {
   shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
                                                          1, capacity)));
-  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
   shards_.reserve(shards);
+  // Exact split of the global budget: quotas sum to `capacity`, never more.
+  const std::size_t base = capacity / shards;
+  const std::size_t extra = capacity % shards;
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -121,7 +130,7 @@ void ResultCache::put(const std::string& key,
   s.lru.emplace_front(key, std::move(value));
   s.index.emplace(key, s.lru.begin());
   ++s.insertions;
-  while (s.lru.size() > per_shard_capacity_) {
+  while (s.lru.size() > s.capacity) {
     s.index.erase(s.lru.back().first);
     s.lru.pop_back();
     ++s.evictions;
@@ -138,6 +147,7 @@ void ResultCache::clear() {
 
 ResultCache::Stats ResultCache::stats() const {
   Stats total;
+  total.capacity = capacity_;
   for (const auto& sp : shards_) {
     std::lock_guard<std::mutex> lock(sp->mutex);
     total.hits += sp->hits;
@@ -147,6 +157,211 @@ ResultCache::Stats ResultCache::stats() const {
     total.entries += sp->lru.size();
   }
   return total;
+}
+
+// ------------------------------------------------------------ persistence --
+// Line-oriented text format, one record per resident entry. Every
+// variable-length field is length-prefixed (keys and QASM bodies may contain
+// anything), and the MapResult payload rides as to_qasm(mapped) — %.17g
+// angles make that round trip exact, so a reloaded entry is bit-identical
+// to the one saved. Cached entries are stored pre-normalized (requested_n ==
+// n, zero timings, cache_hit), so only the identity fields, the graph, the
+// check report and the circuit need to survive.
+
+namespace {
+
+constexpr const char* kCacheMagic = "qftmap-cache 1";
+
+void write_blob(std::ostream& out, const char* tag, const std::string& bytes) {
+  out << tag << ' ' << bytes.size() << '\n' << bytes << '\n';
+}
+
+bool read_line(std::istream& in, std::string& line, std::string& error,
+               const char* what) {
+  if (!std::getline(in, line)) {
+    error = std::string("cache load: truncated stream (expected ") + what +
+            ")";
+    return false;
+  }
+  return true;
+}
+
+bool read_blob(std::istream& in, std::size_t len, std::string& bytes,
+               std::string& error, const char* what) {
+  bytes.resize(len);
+  if (len > 0 && !in.read(&bytes[0], static_cast<std::streamsize>(len))) {
+    error = std::string("cache load: truncated ") + what + " payload";
+    return false;
+  }
+  if (in.get() != '\n') {
+    error = std::string("cache load: missing newline after ") + what;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ResultCache::save(std::ostream& out) const {
+  out << kCacheMagic << '\n';
+  for (const auto& sp : shards_) {
+    // Snapshot under the lock (shared_ptr copies), serialize outside it —
+    // QASM emission of a large circuit must not stall concurrent workers.
+    std::vector<std::pair<std::string, std::shared_ptr<const MapResult>>>
+        entries;
+    {
+      std::lock_guard<std::mutex> lock(sp->mutex);
+      entries.reserve(sp->lru.size());
+      // LRU-first: load() re-inserts in file order, so the last entry
+      // written (the MRU) becomes the MRU again.
+      for (auto it = sp->lru.rbegin(); it != sp->lru.rend(); ++it) {
+        entries.push_back(*it);
+      }
+    }
+    for (const auto& [key, result] : entries) {
+      const MapResult& r = *result;
+      out << "entry\n";
+      write_blob(out, "key", key);
+      write_blob(out, "engine", r.engine);
+      out << "n " << r.n << '\n';
+      out << "graph " << r.graph.num_qubits() << ' ' << r.graph.num_edges()
+          << ' ' << r.graph.name().size() << '\n'
+          << r.graph.name() << '\n';
+      for (std::int32_t a = 0; a < r.graph.num_qubits(); ++a) {
+        for (const PhysicalQubit b : r.graph.neighbors(a)) {
+          if (b <= a) continue;  // undirected: emit each edge once
+          const auto type = r.graph.link_type(a, b);
+          out << "e " << a << ' ' << b << ' '
+              << static_cast<int>(type.value_or(LinkType::kStandard)) << '\n';
+        }
+      }
+      out << "check " << (r.check.ok ? 1 : 0) << ' ' << r.check.depth << ' '
+          << r.check.counts.h << ' ' << r.check.counts.x << ' '
+          << r.check.counts.rz << ' ' << r.check.counts.cphase << ' '
+          << r.check.counts.swap << ' ' << r.check.counts.cnot << ' '
+          << r.check.error.size() << '\n'
+          << r.check.error << '\n';
+      write_blob(out, "qasm", to_qasm(r.mapped));
+      out << "end\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool ResultCache::load(std::istream& in, std::string* error) {
+  std::string scratch;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheMagic) {
+    return fail("cache load: bad magic (not a qftmap cache file?)");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line != "entry") return fail("cache load: expected \"entry\"");
+
+    std::string err;
+    std::size_t len = 0;
+    std::string key, engine;
+    // key
+    if (!read_line(in, line, err, "key")) return fail(err);
+    if (std::sscanf(line.c_str(), "key %zu", &len) != 1) {
+      return fail("cache load: bad key header");
+    }
+    if (!read_blob(in, len, key, err, "key")) return fail(err);
+    // engine
+    if (!read_line(in, line, err, "engine")) return fail(err);
+    if (std::sscanf(line.c_str(), "engine %zu", &len) != 1) {
+      return fail("cache load: bad engine header");
+    }
+    if (!read_blob(in, len, engine, err, "engine")) return fail(err);
+    // n
+    long long n = 0;
+    if (!read_line(in, line, err, "n")) return fail(err);
+    if (std::sscanf(line.c_str(), "n %lld", &n) != 1 || n < 1 ||
+        n > 16'777'216) {
+      return fail("cache load: bad n");
+    }
+    // graph
+    long long qubits = 0, edges = 0;
+    std::size_t name_len = 0;
+    if (!read_line(in, line, err, "graph")) return fail(err);
+    if (std::sscanf(line.c_str(), "graph %lld %lld %zu", &qubits, &edges,
+                    &name_len) != 3 ||
+        qubits < 0 || qubits > 16'777'216 || edges < 0) {
+      return fail("cache load: bad graph header");
+    }
+    std::string graph_name;
+    if (!read_blob(in, name_len, graph_name, err, "graph name")) {
+      return fail(err);
+    }
+    CouplingGraph graph(graph_name, static_cast<std::int32_t>(qubits));
+    for (long long i = 0; i < edges; ++i) {
+      long long a = 0, b = 0;
+      int type = 0;
+      if (!read_line(in, line, err, "edge")) return fail(err);
+      if (std::sscanf(line.c_str(), "e %lld %lld %d", &a, &b, &type) != 3 ||
+          a < 0 || b < 0 || a >= qubits || b >= qubits || a == b ||
+          type < 0 || static_cast<std::size_t>(type) >= kLinkTypeCount ||
+          graph.adjacent(static_cast<PhysicalQubit>(a),
+                         static_cast<PhysicalQubit>(b))) {
+        return fail("cache load: bad edge");
+      }
+      graph.add_edge(static_cast<PhysicalQubit>(a),
+                     static_cast<PhysicalQubit>(b),
+                     static_cast<LinkType>(type));
+    }
+    // check report
+    int check_ok = 0;
+    long long depth = 0, h = 0, x = 0, rz = 0, cphase = 0, swap = 0,
+              cnot = 0;
+    std::size_t err_len = 0;
+    if (!read_line(in, line, err, "check")) return fail(err);
+    if (std::sscanf(line.c_str(),
+                    "check %d %lld %lld %lld %lld %lld %lld %lld %zu",
+                    &check_ok, &depth, &h, &x, &rz, &cphase, &swap, &cnot,
+                    &err_len) != 9) {
+      return fail("cache load: bad check header");
+    }
+    std::string check_error;
+    if (!read_blob(in, err_len, check_error, err, "check error")) {
+      return fail(err);
+    }
+    // qasm payload
+    if (!read_line(in, line, err, "qasm")) return fail(err);
+    if (std::sscanf(line.c_str(), "qasm %zu", &len) != 1) {
+      return fail("cache load: bad qasm header");
+    }
+    if (!read_blob(in, len, scratch, err, "qasm")) return fail(err);
+    if (!read_line(in, line, err, "end")) return fail(err);
+    if (line != "end") return fail("cache load: expected \"end\"");
+
+    auto result = std::make_shared<MapResult>();
+    result->engine = std::move(engine);
+    result->requested_n = static_cast<std::int32_t>(n);
+    result->n = static_cast<std::int32_t>(n);
+    try {
+      result->mapped = mapped_from_qasm(scratch);
+    } catch (const std::invalid_argument& e) {
+      return fail(std::string("cache load: bad qasm payload: ") + e.what());
+    }
+    result->graph = std::move(graph);
+    result->check.ok = check_ok != 0;
+    result->check.error = std::move(check_error);
+    result->check.depth = static_cast<Cycle>(depth);
+    result->check.counts.h = h;
+    result->check.counts.x = x;
+    result->check.counts.rz = rz;
+    result->check.counts.cphase = cphase;
+    result->check.counts.swap = swap;
+    result->check.counts.cnot = cnot;
+    result->timings = MapTimings{};
+    result->cache_hit = true;
+    put(key, std::move(result));
+  }
+  return true;
 }
 
 }  // namespace qfto

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,7 @@ class ResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    std::size_t capacity = 0;  // configured global bound (entries <= capacity)
   };
   /// Aggregated over shards (each shard is locked in turn, so the totals are
   /// a consistent-enough snapshot for monitoring, not a barrier).
@@ -62,9 +64,29 @@ class ResultCache {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Cross-process persistence (--cache-file): writes every resident entry
+  /// in a line-oriented text format whose MapResult payload is the
+  /// to_qasm/mapped_from_qasm round trip — the same exact codec QASM export
+  /// uses, so a reloaded entry serves bit-identical results. Entries are
+  /// written LRU-first per shard; load() re-inserts in file order, so the
+  /// recency order survives the round trip. Returns false when the stream
+  /// fails mid-write.
+  bool save(std::ostream& out) const;
+
+  /// Restores entries written by save() through the normal put() path (the
+  /// capacity bound applies; a smaller cache keeps the most recent tail).
+  /// False with a message in `error` on a malformed or version-mismatched
+  /// stream; entries already inserted stay.
+  bool load(std::istream& in, std::string* error = nullptr);
+
  private:
   struct Shard {
     std::mutex mutex;
+    /// This shard's slice of the global budget: base capacity/shards, the
+    /// first capacity%shards shards carry one extra — the quotas sum to
+    /// exactly `capacity`, so total resident entries can never exceed it
+    /// (the old ceil-rounded shared bound could overshoot by shards-1).
+    std::size_t capacity = 0;
     // MRU at front; map values point into the list.
     std::list<std::pair<std::string, std::shared_ptr<const MapResult>>> lru;
     std::unordered_map<std::string, decltype(lru)::iterator> index;
@@ -77,7 +99,6 @@ class ResultCache {
   Shard& shard_for(const std::string& key);
 
   std::size_t capacity_;
-  std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -23,7 +23,9 @@ namespace {
 // ------------------------------------------------- minimal flat-JSON read --
 // The protocol needs exactly one shape — a single-level object with string,
 // number, bool and null values — so the parser is a few dozen lines instead
-// of a JSON library dependency.
+// of a JSON library dependency. Every access is length-bounded: the input is
+// a string_view over a socket buffer, so neither keyword matching nor number
+// parsing may assume a NUL terminator past `end`.
 
 struct JsonValue {
   enum Kind { kString, kNumber, kBool, kNull } kind = kNull;
@@ -38,7 +40,7 @@ struct FlatJsonParser {
   const char* end;
   std::string error;
 
-  explicit FlatJsonParser(const std::string& s)
+  explicit FlatJsonParser(std::string_view s)
       : p(s.data()), end(s.data() + s.size()) {}
 
   void skip_ws() {
@@ -48,6 +50,55 @@ struct FlatJsonParser {
   bool fail(const std::string& what) {
     error = what;
     return false;
+  }
+
+  /// Remaining input starts with `kw` (bounds-checked *before* comparing —
+  /// the tail may be shorter than the keyword and is not NUL-terminated).
+  bool match_keyword(const char* kw, std::size_t len) {
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    if (std::memcmp(p, kw, len) != 0) return false;
+    p += len;
+    return true;
+  }
+
+  /// Appends `cp` (a Unicode scalar value) to `out` as UTF-8.
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// Four hex digits after a \u escape.
+  bool parse_hex4(std::uint32_t& out) {
+    if (end - p < 4) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *p++;
+      std::uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+      out = (out << 4) | digit;
+    }
+    return true;
   }
 
   bool parse_string(std::string& out) {
@@ -68,13 +119,65 @@ struct FlatJsonParser {
           case 'r': c = '\r'; break;
           case 'b': c = '\b'; break;
           case 'f': c = '\f'; break;
-          default: return fail("unsupported escape");  // incl. \uXXXX
+          case 'u': {
+            std::uint32_t cp;
+            if (!parse_hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a low surrogate must follow, the pair
+              // combining into one supplementary-plane scalar.
+              if (end - p < 2 || p[0] != '\\' || p[1] != 'u') {
+                return fail("unpaired surrogate in \\u escape");
+              }
+              p += 2;
+              std::uint32_t low;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail("unpaired surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired surrogate in \\u escape");
+            }
+            append_utf8(out, cp);
+            continue;  // already appended, possibly multi-byte
+          }
+          default: return fail("unsupported escape");
         }
       }
       out += c;
     }
     if (p >= end) return fail("unterminated string");
     ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    // strtod reads until it stops recognizing number syntax — on a buffer
+    // with no NUL terminator that walk can run past `end`. Copy the token
+    // into a bounded, NUL-terminated stack buffer first. 63 chars is far
+    // beyond any finite double's shortest spelling, so overflow here is a
+    // malformed token, not a lost precision case.
+    char buf[64];
+    std::size_t len = 0;
+    while (p + len < end) {
+      const char c = p[len];
+      const bool number_char = (c >= '0' && c <= '9') || c == '+' ||
+                               c == '-' || c == '.' || c == 'e' || c == 'E';
+      if (!number_char) break;
+      if (len + 1 >= sizeof(buf)) return fail("number token too long");
+      buf[len] = c;
+      ++len;
+    }
+    if (len == 0) return fail("expected value");
+    buf[len] = '\0';
+    char* num_end = nullptr;
+    out.num = std::strtod(buf, &num_end);
+    if (num_end != buf + len) return fail("expected value");
+    // 1e999 parses as inf; letting it through would feed non-finite
+    // deadlines/budgets into duration arithmetic (float-cast UB).
+    if (!std::isfinite(out.num)) return fail("non-finite number");
+    out.kind = JsonValue::kNumber;
+    p += len;
     return true;
   }
 
@@ -85,26 +188,16 @@ struct FlatJsonParser {
     if (*p == '"') {
       out.kind = JsonValue::kString;
       if (!parse_string(out.str)) return false;
-    } else if (std::strncmp(p, "true", 4) == 0 && end - p >= 4) {
+    } else if (match_keyword("true", 4)) {
       out.kind = JsonValue::kBool;
       out.flag = true;
-      p += 4;
-    } else if (std::strncmp(p, "false", 5) == 0 && end - p >= 5) {
+    } else if (match_keyword("false", 5)) {
       out.kind = JsonValue::kBool;
       out.flag = false;
-      p += 5;
-    } else if (std::strncmp(p, "null", 4) == 0 && end - p >= 4) {
+    } else if (match_keyword("null", 4)) {
       out.kind = JsonValue::kNull;
-      p += 4;
     } else {
-      char* num_end = nullptr;
-      out.num = std::strtod(p, &num_end);
-      if (num_end == p || num_end > end) return fail("expected value");
-      // 1e999 parses as inf; letting it through would feed non-finite
-      // deadlines/budgets into duration arithmetic (float-cast UB).
-      if (!std::isfinite(out.num)) return fail("non-finite number");
-      out.kind = JsonValue::kNumber;
-      p = num_end;
+      if (!parse_number(out)) return false;
     }
     out.raw.assign(start, p);
     return true;
@@ -207,7 +300,7 @@ bool as_int(const JsonValue& v, std::int64_t& out) {
 
 }  // namespace
 
-ServeRequest parse_serve_request(const std::string& line) {
+ServeRequest parse_serve_request(std::string_view line) {
   ServeRequest req;
   std::map<std::string, JsonValue> fields;
   FlatJsonParser parser(line);
@@ -223,6 +316,22 @@ ServeRequest parse_serve_request(const std::string& line) {
     } else {
       req.id = it->second.raw;
     }
+  }
+
+  // A stats request is its own shape: {"metrics":true} plus an optional id,
+  // nothing else — mixing it with job fields is a client bug.
+  if (const auto it = fields.find("metrics"); it != fields.end()) {
+    if (it->second.kind != JsonValue::kBool || !it->second.flag) {
+      req.error = "\"metrics\" must be true";
+      return req;
+    }
+    if (fields.size() > (fields.count("id") != 0 ? 2u : 1u)) {
+      req.error = "\"metrics\" requests take no other fields";
+      return req;
+    }
+    req.ok = true;
+    req.metrics = true;
+    return req;
   }
 
   std::int64_t n = -1, m = -1;
@@ -406,6 +515,72 @@ std::string serve_response_json(const std::string& id, const JobResult& out) {
   return s;
 }
 
+std::string serve_inband_error(const std::string& id,
+                               const std::string& status,
+                               const std::string& error) {
+  return "{\"id\":" + id + ",\"ok\":false,\"status\":\"" +
+         json_escape(status) + "\",\"error\":\"" + json_escape(error) + "\"}";
+}
+
+// ------------------------------------------------------------- metrics --
+
+void ServeMetrics::record_result(const JobResult& out) {
+  queue_latency.record(out.queue_seconds);
+  if (out.result != nullptr) {
+    const MapTimings& t = out.result->timings;
+    map_latency.record(t.map_seconds);
+    sat_conflicts.fetch_add(t.sat.conflicts, std::memory_order_relaxed);
+    sat_decisions.fetch_add(t.sat.decisions, std::memory_order_relaxed);
+    sat_restarts.fetch_add(t.sat.restarts, std::memory_order_relaxed);
+    sat_solve_calls.fetch_add(t.sat.solve_calls, std::memory_order_relaxed);
+  }
+}
+
+std::string metrics_json(const MappingService& service,
+                         const ServeMetrics& metrics) {
+  const ResultCache::Stats cache = service.cache_stats();
+  const auto count = [](const std::atomic<std::uint64_t>& c) {
+    return std::to_string(c.load(std::memory_order_relaxed));
+  };
+  std::string s = "{\"ok\":true,\"metrics\":true";
+  s += ",\"queue_depth\":" + std::to_string(service.queue_depth());
+  s += ",\"running\":" + std::to_string(service.running_count());
+  s += ",\"workers\":" + std::to_string(service.num_threads());
+  s += ",\"requests\":" + count(metrics.requests);
+  s += ",\"responses\":" + count(metrics.responses);
+  s += ",\"shed\":" + count(metrics.shed);
+  s += ",\"parse_errors\":" + count(metrics.parse_errors);
+  s += ",\"in_flight\":" +
+       std::to_string(metrics.in_flight.load(std::memory_order_relaxed));
+  s += ",\"cache\":{\"hits\":" + std::to_string(cache.hits);
+  s += ",\"misses\":" + std::to_string(cache.misses);
+  s += ",\"insertions\":" + std::to_string(cache.insertions);
+  s += ",\"evictions\":" + std::to_string(cache.evictions);
+  s += ",\"entries\":" + std::to_string(cache.entries);
+  s += ",\"capacity\":" + std::to_string(cache.capacity) + "}";
+  s += ",\"sat\":{\"conflicts\":" + count(metrics.sat_conflicts);
+  s += ",\"decisions\":" + count(metrics.sat_decisions);
+  s += ",\"restarts\":" + count(metrics.sat_restarts);
+  s += ",\"solve_calls\":" + count(metrics.sat_solve_calls) + "}";
+  const auto histogram = [&s](const char* name,
+                              const net::LatencyHistogram& h) {
+    s += ",\"";
+    s += name;
+    s += "\":{\"count\":" + std::to_string(h.count());
+    s += ",\"p50\":";
+    append_number(s, h.quantile(0.5));
+    s += ",\"p99\":";
+    append_number(s, h.quantile(0.99));
+    s += "}";
+  };
+  histogram("map_seconds", metrics.map_latency);
+  histogram("queue_seconds", metrics.queue_latency);
+  s += "}";
+  return s;
+}
+
+// ---------------------------------------------------------- stdio loop --
+
 int run_serve_loop(std::istream& in, std::ostream& out,
                    MappingService& service) {
   // Reader/writer split: the reader blocks in getline while the writer
@@ -419,10 +594,12 @@ int run_serve_loop(std::istream& in, std::ostream& out,
     std::string immediate; // pre-formatted response for rejected lines
   };
   constexpr std::size_t kMaxPending = 256;  // reader back-pressure bound
+  ServeMetrics metrics;
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<Pending> pending;
   bool eof = false;
+  bool dead = false;  // `out` failed: the client is gone
 
   std::thread writer([&]() {
     for (;;) {
@@ -436,10 +613,22 @@ int run_serve_loop(std::istream& in, std::ostream& out,
       }
       cv.notify_all();  // reader may be waiting on the back-pressure bound
       if (entry.handle.valid()) {
-        out << serve_response_json(entry.id, entry.handle.wait()) << '\n'
-            << std::flush;
+        const JobResult result = entry.handle.wait();
+        metrics.record_result(result);
+        metrics.in_flight.fetch_sub(1, std::memory_order_relaxed);
+        out << serve_response_json(entry.id, result) << '\n' << std::flush;
       } else {
         out << entry.immediate << '\n' << std::flush;
+      }
+      metrics.responses.fetch_add(1, std::memory_order_relaxed);
+      if (!out) {
+        // Broken pipe: stop the reader, stop draining — every job still in
+        // `pending` is cancelled below; finishing them would burn worker
+        // time producing output nobody can receive.
+        std::lock_guard<std::mutex> lock(mutex);
+        dead = true;
+        cv.notify_all();
+        return;
       }
     }
   });
@@ -447,20 +636,31 @@ int run_serve_loop(std::istream& in, std::ostream& out,
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    metrics.requests.fetch_add(1, std::memory_order_relaxed);
     ServeRequest req = parse_serve_request(line);
     Pending entry;
     entry.id = req.id;
     if (!req.ok) {
+      metrics.parse_errors.fetch_add(1, std::memory_order_relaxed);
       JobResult rejected;
       rejected.status = JobStatus::kFailed;
       rejected.error = req.error;
       entry.immediate = serve_response_json(req.id, rejected);
+    } else if (req.metrics) {
+      entry.immediate = metrics_json(service, metrics);
     } else {
       entry.handle = service.submit(std::move(req.request), req.submit);
+      metrics.in_flight.fetch_add(1, std::memory_order_relaxed);
     }
     {
       std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [&] { return pending.size() < kMaxPending; });
+      cv.wait(lock, [&] { return dead || pending.size() < kMaxPending; });
+      if (dead) {
+        // The writer is gone; this entry would never be drained. Cancel its
+        // job (if any) along with the rest below.
+        pending.push_back(std::move(entry));
+        break;
+      }
       pending.push_back(std::move(entry));
     }
     cv.notify_all();
@@ -471,7 +671,22 @@ int run_serve_loop(std::istream& in, std::ostream& out,
   }
   cv.notify_all();
   writer.join();
-  return 0;
+  // On a dead client the writer exits with `pending` non-empty: cancel every
+  // orphaned job so the pool stops grinding through an unread backlog.
+  bool client_died;
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    client_died = dead;
+    orphans.swap(pending);
+  }
+  for (Pending& entry : orphans) {
+    if (entry.handle.valid()) {
+      entry.handle.cancel();
+      metrics.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return client_died ? 1 : 0;
 }
 
 }  // namespace qfto

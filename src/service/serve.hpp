@@ -1,6 +1,8 @@
 // Long-running front-end for the MappingService: newline-delimited JSON
 // requests in, newline-delimited JSON responses out — scriptable from a
-// shell pipe and smokable in CI. One request per line:
+// shell pipe, smokable in CI, and the exact protocol the socket transport
+// (service/net_server.hpp) serves to concurrent clients. One request per
+// line:
 //
 //   {"id": 1, "engine": "lattice", "n": 100}
 //   {"id": "warm", "engine": "lattice", "n": 100}            -> cache_hit
@@ -9,6 +11,7 @@
 //    "priority": 10}
 //   {"id": 4, "engine": "sabre",
 //    "qasm": "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\n"}
+//   {"id": 5, "metrics": true}                               -> stats snapshot
 //
 // Fields: `engine` (required), `n` or `m` (required unless `qasm` is given;
 // `m` means n = m*m), `qasm` (an OpenQASM 2.0 program — the request maps
@@ -22,6 +25,25 @@
 // "cdcl"), `sat_incremental` (bool, default true: one incremental SAT
 // instance per SATMAP run vs re-encoding per probe). Unknown fields are an
 // error, so typos fail loudly instead of silently mapping with defaults.
+// String values accept the full JSON escape set including \uXXXX (surrogate
+// pairs encode as UTF-8).
+//
+// `{"metrics": true}` (no other fields; optional `id`) answers immediately
+// with a one-line stats document instead of submitting a job — the same
+// payload `GET /metrics` serves over the socket front-end:
+//
+//   {"ok":true,"metrics":true,"queue_depth":...,"running":...,"workers":...,
+//    "requests":...,"responses":...,"shed":...,"parse_errors":...,
+//    "in_flight":...,
+//    "cache":{"hits":...,"misses":...,"insertions":...,"evictions":...,
+//             "entries":...,"capacity":...},
+//    "sat":{"conflicts":...,"decisions":...,"restarts":...,"solve_calls":...},
+//    "map_seconds":{"count":...,"p50":...,"p99":...},
+//    "queue_seconds":{"count":...,"p50":...,"p99":...}}
+//
+// `cache` mirrors MappingService::cache_stats(); `sat` totals the solver
+// effort of every completed job; the latency quantiles come from streaming
+// histograms (~19% relative resolution, see net::LatencyHistogram).
 //
 // Responses stream in request order, each flushed as soon as its job
 // completes (jobs themselves run concurrently and may be reordered by
@@ -35,37 +57,88 @@
 //
 // SAT-backed engines (satmap) additionally report their search effort:
 // "sat_conflicts", "sat_decisions", "sat_restarts", "sat_solve_calls".
+// The socket front-end adds one failure status the stdio loop never emits:
+// {"ok":false,"status":"shed","error":...} when admission control rejects a
+// request under load (see net_server.hpp).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "service/mapping_service.hpp"
+#include "service/transport.hpp"
 
 namespace qfto {
 
 /// One parsed request line. `ok` false means a parse/validation problem
 /// described in `error`; `id` is the raw JSON token to echo back ("null"
-/// when the line carried none).
+/// when the line carried none). `metrics` true (with `ok`) marks a stats
+/// request: answer with metrics_json instead of submitting a job.
 struct ServeRequest {
   bool ok = false;
+  bool metrics = false;
   std::string error;
   std::string id = "null";
   BatchRequest request;
   MappingService::Submit submit;
 };
 
-/// Parses one newline-delimited request. Exposed for tests; run_serve_loop
-/// is the consumer.
-ServeRequest parse_serve_request(const std::string& line);
+/// Parses one newline-delimited request. Length-bounded end to end: the
+/// input need not be NUL-terminated (socket buffers and string_views are
+/// parsed in place). Exposed for tests; run_serve_loop and the NetServer
+/// are the consumers.
+ServeRequest parse_serve_request(std::string_view line);
 
 /// Formats the response line for a finished (or rejected) request.
 std::string serve_response_json(const std::string& id, const JobResult& out);
 
+/// Pre-formatted in-band failure with a transport-level status word the
+/// JobStatus enum does not carry — the NetServer's "shed" responses:
+///   {"id":<id>,"ok":false,"status":"shed","error":"..."}
+std::string serve_inband_error(const std::string& id,
+                               const std::string& status,
+                               const std::string& error);
+
+/// Serving-path counters shared by the stdio loop and the socket transport.
+/// All counters are relaxed atomics and the histograms are wait-free, so
+/// every connection thread records into one shared instance without a lock;
+/// metrics_json reads a monitoring-grade snapshot, not a barrier.
+struct ServeMetrics {
+  std::atomic<std::uint64_t> requests{0};      // lines parsed (incl. rejects)
+  std::atomic<std::uint64_t> responses{0};     // lines/bodies written
+  std::atomic<std::uint64_t> shed{0};          // admission-control rejections
+  std::atomic<std::uint64_t> parse_errors{0};  // malformed request lines
+  std::atomic<std::int64_t> in_flight{0};      // submitted, not yet answered
+
+  // Solver-effort totals over every completed job.
+  std::atomic<std::uint64_t> sat_conflicts{0};
+  std::atomic<std::uint64_t> sat_decisions{0};
+  std::atomic<std::uint64_t> sat_restarts{0};
+  std::atomic<std::uint64_t> sat_solve_calls{0};
+
+  net::LatencyHistogram map_latency;    // MapResult::timings.map_seconds
+  net::LatencyHistogram queue_latency;  // JobResult::queue_seconds
+
+  /// Folds one finished job into the histograms and solver totals.
+  void record_result(const JobResult& out);
+};
+
+/// One-line stats document (see the header comment for the shape). The
+/// service contributes queue depth, worker count and cache stats; `metrics`
+/// contributes the serving counters and latency quantiles.
+std::string metrics_json(const MappingService& service,
+                         const ServeMetrics& metrics);
+
 /// Reads requests from `in` until EOF, submits each to `service`, and
 /// streams responses to `out` in request order (each flushed as its job
-/// completes). Blank lines are skipped. Returns 0; per-request failures are
-/// reported in-band as {"ok":false,...} responses.
+/// completes). Blank lines are skipped; per-request failures are reported
+/// in-band as {"ok":false,...} responses. Returns 0 on clean EOF. When `out`
+/// fails (dead client / broken pipe), the loop stops reading, cancels every
+/// still-pending job and returns 1 — a dead consumer must not keep the
+/// service grinding through its backlog.
 int run_serve_loop(std::istream& in, std::ostream& out,
                    MappingService& service);
 

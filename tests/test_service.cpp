@@ -17,6 +17,7 @@
 #include "mapper/lnn_mapper.hpp"
 #include "pipeline/batch.hpp"
 #include "pipeline/mapper_pipeline.hpp"
+#include "qasm/qasm.hpp"
 #include "service/mapping_service.hpp"
 #include "service/result_cache.hpp"
 #include "service/serve.hpp"
@@ -361,6 +362,57 @@ TEST(ResultCache, LruEvictsTheColdestEntryPerShard) {
   EXPECT_EQ(stats.entries, 2u);
 }
 
+TEST(ResultCache, GlobalCapacityBoundHoldsWhenShardsDoNotDivide) {
+  // 10 entries over 8 shards used to ceil-round to 2 per shard — a de facto
+  // bound of 16. The quota split must keep the global total exact.
+  ResultCache cache(/*capacity=*/10, /*shards=*/8);
+  const auto result = std::make_shared<const MapResult>();
+  for (int i = 0; i < 200; ++i) cache.put("key-" + std::to_string(i), result);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.capacity, 10u);
+  EXPECT_EQ(stats.entries, 10u) << "never over, and full under pressure";
+  EXPECT_EQ(stats.entries + stats.evictions, stats.insertions);
+}
+
+TEST(ResultCache, SaveLoadRoundTripServesBitIdenticalHits) {
+  MappingService first{service_options(2)};
+  const JobResult lat = first.submit({"lattice", 9, MapOptions{}}).wait();
+  const JobResult line = first.submit({"lnn", 6, MapOptions{}}).wait();
+  ASSERT_TRUE(lat.ok() && line.ok()) << lat.error << line.error;
+
+  std::stringstream blob;
+  ASSERT_TRUE(first.cache().save(blob));
+
+  MappingService second{service_options(2)};
+  std::string error;
+  ASSERT_TRUE(second.cache().load(blob, &error)) << error;
+
+  const JobResult warm = second.submit({"lattice", 9, MapOptions{}}).wait();
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_TRUE(warm.result->cache_hit) << "restored entries must hit";
+  // The QASM codec is the payload authority: round-tripped gates, angles and
+  // mappings must compare equal character for character.
+  EXPECT_EQ(to_qasm(warm.result->mapped), to_qasm(lat.result->mapped));
+  EXPECT_EQ(warm.result->n, lat.result->n);
+  EXPECT_EQ(warm.result->graph.name(), lat.result->graph.name());
+  EXPECT_EQ(warm.result->graph.num_qubits(), lat.result->graph.num_qubits());
+  EXPECT_EQ(warm.result->graph.num_edges(), lat.result->graph.num_edges());
+  EXPECT_EQ(warm.result->check.ok, lat.result->check.ok);
+  EXPECT_EQ(warm.result->check.depth, lat.result->check.depth);
+  EXPECT_EQ(warm.result->check.counts.cnot, lat.result->check.counts.cnot);
+  EXPECT_EQ(warm.result->check.counts.swap, lat.result->check.counts.swap);
+  EXPECT_EQ(warm.result->timings.map_seconds, 0.0);
+
+  const JobResult warm2 = second.submit({"lnn", 6, MapOptions{}}).wait();
+  ASSERT_TRUE(warm2.ok()) << warm2.error;
+  EXPECT_TRUE(warm2.result->cache_hit);
+
+  // Garbage fails with a message, never an exception.
+  std::istringstream garbage("not a cache file\n");
+  EXPECT_FALSE(second.cache().load(garbage, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(ResultCache, KeyCoversEveryResultShapingKnob) {
   const MapOptions base;
   const std::string k = ResultCache::key("lattice", 16, base);
@@ -590,6 +642,113 @@ TEST(Serve, LoopStreamsResponsesInRequestOrderWithCacheHits) {
   EXPECT_NE(lines[3].find("parse error"), std::string::npos);
 }
 
+TEST(Serve, UnicodeEscapesDecodeToUtf8) {
+  const ServeRequest req =
+      parse_serve_request(R"({"id": "q", "engine": "lnn", "n": 4})");
+  ASSERT_TRUE(req.ok) << req.error;
+  EXPECT_EQ(req.request.engine, "lnn");
+
+  // Supplementary-plane escape: the surrogate pair combines into U+1F600
+  // and re-encodes as four bytes of UTF-8 in the echoed id.
+  const ServeRequest emoji = parse_serve_request(
+      R"({"id": "\uD83D\uDE00", "engine": "lnn", "n": 4})");
+  ASSERT_TRUE(emoji.ok) << emoji.error;
+  EXPECT_EQ(emoji.id, "\"\xF0\x9F\x98\x80\"");
+
+  const ServeRequest bmp = parse_serve_request(
+      R"({"id": "\u00e9", "engine": "lnn", "n": 4})");
+  ASSERT_TRUE(bmp.ok) << bmp.error;
+  EXPECT_EQ(bmp.id, "\"\xC3\xA9\"");
+
+  for (const char* bad : {
+           R"({"id": "\uD83D", "engine": "lnn", "n": 4})",   // unpaired high
+           R"({"id": "\uDE00", "engine": "lnn", "n": 4})",   // lone low
+           R"({"id": "\uD83Dxy", "engine": "lnn", "n": 4})", // high then junk
+           R"({"id": "\u12G4", "engine": "lnn", "n": 4})",   // bad hex digit
+           R"({"id": "\u12)",                                // truncated
+       }) {
+    EXPECT_FALSE(parse_serve_request(bad).ok) << bad;
+  }
+}
+
+ServeRequest parse_unterminated(std::string_view text) {
+  // Heap buffer sized exactly to the payload, no NUL terminator: the ASan
+  // leg turns any parser read past `end` into a hard failure.
+  std::vector<char> exact(text.begin(), text.end());
+  return parse_serve_request(std::string_view(exact.data(), exact.size()));
+}
+
+TEST(Serve, ParserNeverReadsPastAnUnterminatedBuffer) {
+  EXPECT_TRUE(parse_unterminated(R"({"engine":"lnn","n":12})").ok);
+  // Truncations ending inside every token class — keyword, number, string,
+  // escape — must fail cleanly without touching bytes past the buffer.
+  for (const char* bad : {
+           R"({"cache":tru)",
+           R"({"cache":t)",
+           R"({"n":12)",
+           R"({"n":)",
+           R"({"n":1e)",
+           R"({"engine":"ln)",
+           R"({"engine":"ln\)",
+           R"({"id":"\u00)",
+           R"({"engine":"lnn","n":12)",
+           R"({)",
+       }) {
+    EXPECT_FALSE(parse_unterminated(bad).ok) << bad;
+  }
+}
+
+TEST(Serve, MetricsRequestAnswersInBandAndRejectsMixedShapes) {
+  std::istringstream in(
+      "{\"id\": 1, \"engine\": \"lnn\", \"n\": 8}\n"
+      "{\"id\": 2, \"metrics\": true}\n"
+      "{\"metrics\": true, \"n\": 4}\n"
+      "{\"metrics\": false}\n");
+  std::ostringstream out;
+  MappingService service{service_options(1)};
+  EXPECT_EQ(run_serve_loop(in, out, service), 0);
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u) << out.str();
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"metrics\":true"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"workers\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cache\":{"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"capacity\":1024"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"sat\":{"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"map_seconds\":{\"count\":"), std::string::npos);
+  EXPECT_NE(lines[2].find("no other fields"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[3].find("\\\"metrics\\\" must be true"), std::string::npos)
+      << lines[3];
+}
+
+TEST(Serve, DeadClientStopsTheLoopAndCancelsTheBacklog) {
+  // An output stream whose every write fails — the stdio equivalent of a
+  // client that hung up.
+  struct FailBuf : std::streambuf {
+    int_type overflow(int_type) override { return traits_type::eof(); }
+  };
+  std::string input;
+  for (int i = 0; i < 10; ++i) {
+    input += "{\"id\": " + std::to_string(i) +
+             ", \"engine\": \"sleeper\", \"n\": 4}\n";
+  }
+  std::istringstream in(input);
+  FailBuf fail_buf;
+  std::ostream out(&fail_buf);
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.5);
+  MappingService service{service_options(1), pipeline};
+  WallTimer timer;
+  EXPECT_EQ(run_serve_loop(in, out, service), 1);
+  // Ten naps at 0.5 s on one worker is 5 s if the loop grinds through the
+  // whole backlog; noticing the dead stream after the first response and
+  // cancelling the rest must beat that by a wide margin.
+  EXPECT_LT(timer.seconds(), 3.0);
+}
+
 // ---------------------------------------------------- lifecycle under load --
 
 TEST(Service, DestructionCancelsQueuedJobsAndJoinsWorkers) {
@@ -605,6 +764,26 @@ TEST(Service, DestructionCancelsQueuedJobsAndJoinsWorkers) {
   EXPECT_TRUE(ran.status == JobStatus::kDone ||
               ran.status == JobStatus::kCancelled);
   EXPECT_EQ(queued.wait().status, JobStatus::kCancelled);
+}
+
+TEST(Service, DestructorOrphansGetQueueTimeAndTheCancelVocabulary) {
+  // Shutdown retirement must account like JobHandle::cancel: same error
+  // vocabulary, real queue_seconds (not 0.0), no dispatch index.
+  const MapperPipeline pipeline = pipeline_with_sleeper(0.3);
+  JobHandle queued;
+  {
+    MappingService service{service_options(1), pipeline};
+    JobHandle blocker = service.submit({"sleeper", 4, MapOptions{}});
+    queued = service.submit({"lnn", 8, MapOptions{}});
+    std::this_thread::sleep_for(20ms);  // accrue observable queue time
+  }
+  const JobResult out = queued.wait();
+  EXPECT_EQ(out.status, JobStatus::kCancelled);
+  EXPECT_NE(out.error.find("cancelled before start"), std::string::npos)
+      << out.error;
+  EXPECT_GT(out.queue_seconds, 0.0)
+      << "orphans spent real time queued; the accounting must say so";
+  EXPECT_EQ(out.dispatch_index, -1);
 }
 
 TEST(Service, DestructionCancelsRunningJobsInsteadOfWaitingOutBudgets) {
