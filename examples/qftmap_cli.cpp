@@ -37,9 +37,14 @@
 // number of concurrent clients (plus a minimal HTTP adapter: GET /metrics,
 // POST /map) — see src/service/net_server.hpp. `--max-inflight` bounds
 // admitted jobs (excess is shed in-band); `--cache-file FILE` loads the
-// result cache at startup and saves it on clean shutdown, so a warmed cache
-// survives restarts. SIGTERM (or stdin EOF on an interactive stdin) drains
-// gracefully: stop accepting, finish in-flight work, then exit 0.
+// result cache at startup and saves it crash-safely (temp file + atomic
+// rename) after every graceful drain, so a warmed cache survives restarts.
+// SIGTERM (or stdin EOF on an interactive stdin) drains gracefully: stop
+// accepting, finish in-flight work, save the cache, then exit 0.
+//
+// `--faults SPEC` arms the fault-injection framework (same grammar as the
+// QFTO_FAULTS environment variable — see src/common/fault.hpp) for chaos
+// drills against a live server.
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -56,6 +61,7 @@
 
 #include "circuit/stats.hpp"
 #include "circuit/transforms.hpp"
+#include "common/fault.hpp"
 #include "pipeline/mapper_pipeline.hpp"
 #include "qasm/qasm.hpp"
 #include "sat/solver_interface.hpp"
@@ -75,7 +81,7 @@ int usage(const char* argv0) {
       "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
       "[--quiet]\n       %s --serve [--threads T] [--cache-entries N] "
       "[--listen HOST:PORT] [--max-inflight N] [--max-pending N] "
-      "[--drain-seconds S] [--cache-file FILE]\n"
+      "[--drain-seconds S] [--cache-file FILE] [--faults SPEC]\n"
       "       %s --list | --list-solvers\n",
       argv0, argv0, argv0);
   return 2;
@@ -114,19 +120,12 @@ bool load_cache_file(qfto::MappingService& service, const std::string& path) {
   return true;
 }
 
-/// Saves via tmp + rename so a crash mid-write never corrupts the old file.
+/// Saves crash-safely (temp file + fsync + atomic rename — see
+/// ResultCache::save_file); on failure the previous file is untouched.
 void save_cache_file(qfto::MappingService& service, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out || !service.cache().save(out)) {
-      std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
-      return;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "warning: rename %s: %s\n", tmp.c_str(),
-                 std::strerror(errno));
+  std::string error;
+  if (!service.cache().save_file(path, &error)) {
+    std::fprintf(stderr, "warning: %s\n", error.c_str());
   }
 }
 
@@ -199,6 +198,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cache_file = v;
+    } else if (a == "--faults") {
+      // Fault injection for chaos drills: same spec grammar as QFTO_FAULTS
+      // (e.g. "net.send.fail=prob:0.1;cache.save.rename=once"). Rejecting a
+      // bad spec up front beats silently running an un-chaosed drill.
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      std::string error;
+      if (!fault::compiled_in()) {
+        std::fprintf(stderr,
+                     "--faults: fault injection compiled out "
+                     "(rebuild with -DQFTO_FAULTS=ON)\n");
+        return 2;
+      }
+      if (!fault::arm_spec(v, &error)) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
+        return 2;
+      }
     } else if (a == "--arch") {
       const char* v = next();
       if (!v) return usage(argv[0]);

@@ -1,0 +1,194 @@
+// libFuzzer harness over the serve-protocol surface — the other half of the
+// ROADMAP's fuzzing item (part (a): the request JSON grammar). Two modes,
+// selected by the first input byte:
+//
+//   * raw (even first byte): the remaining bytes are one request line fed to
+//     parse_serve_request verbatim. Properties: the parser never escapes an
+//     exception, a rejected request always carries an error message, and the
+//     echoed `id` token can always be embedded back into a response without
+//     breaking JSON well-formedness (the id is the one piece of client text
+//     a response repeats verbatim).
+//
+//   * structured (odd first byte): the remaining bytes index a dictionary of
+//     protocol keys and values, building a request that usually gets past
+//     the parser — this drives the full request loop (run_serve_loop over a
+//     shared MappingService) deep into submit/cache/deadline handling with
+//     bounded job sizes. Property: every response line is well-formed JSON
+//     carrying the error-taxonomy vocabulary.
+//
+// Build modes mirror fuzz_qasm.cpp: QFTO_FUZZ=ON links libFuzzer
+// (`./fuzz_serve fuzz/corpus_serve -max_total_time=30`);
+// QFTO_FUZZ_REPLAY_MAIN compiles a plain main() for the fuzz_serve_corpus
+// ctest entry that sweeps the seed corpus on every CI leg.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "service/mapping_service.hpp"
+#include "service/serve.hpp"
+
+namespace {
+
+[[noreturn]] void violate(const char* what) {
+  std::fprintf(stderr, "fuzz_serve: property violated: %s\n", what);
+  std::abort();
+}
+
+/// Minimal structural JSON check (flat objects): braces balanced outside
+/// strings, escapes honoured, exactly one top-level object.
+bool json_well_formed(const std::string& s) {
+  if (s.empty() || s.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth < 0) return false;
+      if (depth == 0 && i + 1 != s.size()) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+/// One small shared service: fuzz iterations reuse the worker pool (and its
+/// cache — repeated requests exercise the hit path). Leaked deliberately so
+/// no destructor races libFuzzer's exit path.
+qfto::MappingService& shared_service() {
+  static qfto::MappingService* service = [] {
+    qfto::MappingService::Options options;
+    options.num_threads = 2;
+    options.cache_capacity = 64;
+    return new qfto::MappingService(options);
+  }();
+  return *service;
+}
+
+void check_raw(const std::string& line) {
+  qfto::ServeRequest req;
+  try {
+    req = qfto::parse_serve_request(line);
+  } catch (...) {
+    violate("parse_serve_request escaped an exception");
+  }
+  if (!req.ok && req.error.empty()) {
+    violate("rejected request carries no error message");
+  }
+  if (req.id.empty()) violate("echo id may be \"null\", never empty");
+  // The id token is echoed verbatim into every response; whatever the
+  // parser accepted must embed cleanly.
+  if (!json_well_formed(qfto::serve_inband_error(req.id, "shed", "probe"))) {
+    violate("accepted id breaks response JSON well-formedness");
+  }
+}
+
+// Dictionary-built requests: mostly-valid lines that reach past the parser
+// into the queue/cache/deadline machinery. Values are bounded so no fuzz
+// input can buy an expensive mapping job.
+const char* const kKeys[] = {"engine", "n",       "m",     "id",
+                             "priority", "deadline", "cache", "verify",
+                             "trials", "seed",    "metrics", "strict_ie",
+                             "bogus_key"};
+const char* const kValues[] = {"\"lnn\"",  "\"lattice\"", "\"nosuch\"",
+                               "1",        "4",           "9",
+                               "0",        "-3",          "true",
+                               "false",    "null",        "0.001",
+                               "1e9",      "\"x\\\"y\"",  "[1,2]",
+                               "{}",       "\"\\u0041\""};
+
+void check_structured(const std::uint8_t* data, std::size_t size) {
+  std::string line = "{";
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < size && i < 16; i += 2) {
+    if (!first) line += ",";
+    first = false;
+    line += std::string("\"") +
+            kKeys[data[i] % (sizeof(kKeys) / sizeof(kKeys[0]))] + "\":";
+    line += kValues[data[i + 1] % (sizeof(kValues) / sizeof(kValues[0]))];
+  }
+  line += "}\n";
+
+  std::istringstream in(line);
+  std::ostringstream out;
+  qfto::run_serve_loop(in, out, shared_service());
+  std::istringstream responses(out.str());
+  std::string response;
+  while (std::getline(responses, response)) {
+    if (!json_well_formed(response)) {
+      std::fprintf(stderr, "fuzz_serve: request %s response %s\n",
+                   line.c_str(), response.c_str());
+      violate("response line is not well-formed JSON");
+    }
+    if (response.find("\"ok\":") == std::string::npos) {
+      violate("response line carries no ok field");
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  if (data[0] % 2 == 0) {
+    check_raw(std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  } else {
+    check_structured(data + 1, size - 1);
+  }
+  return 0;
+}
+
+#ifdef QFTO_FUZZ_REPLAY_MAIN
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s CORPUS_DIR_OR_FILE...\n", argv[0]);
+    return 2;
+  }
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(s.data()),
+                           s.size());
+  }
+  std::printf("fuzz_serve: %zu corpus inputs replayed clean\n",
+              inputs.size());
+  return 0;
+}
+#endif  // QFTO_FUZZ_REPLAY_MAIN

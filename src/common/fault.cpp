@@ -1,0 +1,340 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace qfto {
+namespace fault {
+
+bool compiled_in() {
+#ifdef QFTO_FAULTS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+Trigger always() {
+  Trigger t;
+  t.kind = Trigger::Kind::kAlways;
+  return t;
+}
+
+Trigger once(std::uint64_t nth_hit) {
+  Trigger t;
+  t.kind = Trigger::Kind::kOnce;
+  t.count = nth_hit == 0 ? 1 : nth_hit;
+  return t;
+}
+
+Trigger after(std::uint64_t hits) {
+  Trigger t;
+  t.kind = Trigger::Kind::kAfter;
+  t.count = hits;
+  return t;
+}
+
+Trigger prob(double probability, std::uint64_t seed) {
+  Trigger t;
+  t.kind = Trigger::Kind::kProb;
+  t.probability = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0 : probability);
+  t.seed = seed;
+  return t;
+}
+
+Trigger delay_ms(std::uint32_t ms) {
+  Trigger t;
+  t.kind = Trigger::Kind::kDelayOnly;
+  t.latency_ms = ms;
+  return t;
+}
+
+#ifdef QFTO_FAULTS_DISABLED
+
+void arm(const std::string&, Trigger) {}
+bool arm_spec(const std::string&, std::string* error) {
+  if (error) *error = "fault injection compiled out (QFTO_FAULTS=OFF)";
+  return false;
+}
+void disarm_all() {}
+std::uint64_t hit_count(const std::string&) { return 0; }
+std::uint64_t fired_count(const std::string&) { return 0; }
+std::vector<std::string> known_points() { return {}; }
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+bool should_fire(const char*) { return false; }
+}  // namespace detail
+
+#else  // faults compiled in
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct PointState {
+  bool armed = false;
+  Trigger trigger;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t prng = 0;  // per-point PRNG state for kProb
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, PointState> points;
+  std::uint64_t armed_count = 0;
+
+  Registry() {
+    // Environment arming happens once, before any point can be checked —
+    // the first call into the registry constructs this singleton.
+    const char* spec = std::getenv("QFTO_FAULTS");
+    if (spec != nullptr && *spec != '\0') {
+      std::string err;
+      if (!arm_spec_locked(spec, &err)) {
+        // A malformed env spec should be loud but not fatal: the process
+        // may not be a test binary. Keep whatever parsed.
+        std::fprintf(stderr, "qfto: ignoring bad QFTO_FAULTS clause: %s\n",
+                     err.c_str());
+      }
+    }
+  }
+
+  // splitmix64 — tiny, seedable, good enough for fire/don't-fire decisions.
+  static std::uint64_t next_rand(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  void arm_locked(const std::string& name, const Trigger& trigger) {
+    PointState& p = points[name];
+    if (!p.armed) ++armed_count;
+    p.armed = true;
+    p.trigger = trigger;
+    p.hits = 0;
+    p.fired = 0;
+    p.prng = trigger.seed;
+    g_enabled.store(armed_count > 0, std::memory_order_relaxed);
+  }
+
+  bool arm_spec_locked(const std::string& spec, std::string* error) {
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find(';', pos);
+      if (end == std::string::npos) end = spec.size();
+      std::string clause = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (clause.empty()) continue;
+      std::size_t eq = clause.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        if (error) *error = "expected name=trigger in \"" + clause + "\"";
+        return false;
+      }
+      std::string name = clause.substr(0, eq);
+      std::string body = clause.substr(eq + 1);
+      // Optional `@LATENCY_MS` suffix on any trigger.
+      std::uint32_t latency = 0;
+      std::size_t at = body.rfind('@');
+      if (at != std::string::npos) {
+        if (!parse_u32(body.substr(at + 1), &latency)) {
+          if (error) *error = "bad latency suffix in \"" + clause + "\"";
+          return false;
+        }
+        body = body.substr(0, at);
+      }
+      Trigger t;
+      if (!parse_trigger(body, &t)) {
+        if (error) *error = "bad trigger \"" + body + "\" in \"" + clause + "\"";
+        return false;
+      }
+      t.latency_ms = t.kind == Trigger::Kind::kDelayOnly ? t.latency_ms : latency;
+      arm_locked(name, t);
+    }
+    return true;
+  }
+
+  static bool parse_u64(const std::string& s, std::uint64_t* out) {
+    if (s.empty()) return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      if (v > (UINT64_MAX - 9) / 10) return false;
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+  }
+
+  static bool parse_u32(const std::string& s, std::uint32_t* out) {
+    std::uint64_t v = 0;
+    if (!parse_u64(s, &v) || v > UINT32_MAX) return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+  }
+
+  static bool parse_prob(const std::string& s, double* out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    if (!(v >= 0.0 && v <= 1.0)) return false;
+    *out = v;
+    return true;
+  }
+
+  static bool parse_trigger(const std::string& body, Trigger* out) {
+    if (body == "always") {
+      *out = always();
+      return true;
+    }
+    auto starts = [&](const char* prefix) {
+      return body.rfind(prefix, 0) == 0;
+    };
+    if (starts("once:")) {
+      std::uint64_t n = 0;
+      if (!parse_u64(body.substr(5), &n) || n == 0) return false;
+      *out = once(n);
+      return true;
+    }
+    if (body == "once") {
+      *out = once(1);
+      return true;
+    }
+    if (starts("after:")) {
+      std::uint64_t n = 0;
+      if (!parse_u64(body.substr(6), &n)) return false;
+      *out = after(n);
+      return true;
+    }
+    if (starts("prob:")) {
+      std::string rest = body.substr(5);
+      std::size_t colon = rest.find(':');
+      double p = 0.0;
+      std::uint64_t seed = 1;
+      if (colon == std::string::npos) {
+        if (!parse_prob(rest, &p)) return false;
+      } else {
+        if (!parse_prob(rest.substr(0, colon), &p)) return false;
+        if (!parse_u64(rest.substr(colon + 1), &seed)) return false;
+      }
+      *out = prob(p, seed);
+      return true;
+    }
+    if (starts("delay:")) {
+      std::uint32_t ms = 0;
+      if (!parse_u32(body.substr(6), &ms)) return false;
+      *out = delay_ms(ms);
+      return true;
+    }
+    return false;
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: survives static destruction
+  return *r;
+}
+
+}  // namespace
+
+bool should_fire(const char* point) {
+  Registry& reg = registry();
+  bool fire = false;
+  std::uint32_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    PointState& p = reg.points[point];
+    ++p.hits;
+    if (!p.armed) return false;
+    const Trigger& t = p.trigger;
+    switch (t.kind) {
+      case Trigger::Kind::kAlways:
+        fire = true;
+        break;
+      case Trigger::Kind::kOnce:
+        fire = (p.hits == t.count);
+        break;
+      case Trigger::Kind::kAfter:
+        fire = (p.hits > t.count);
+        break;
+      case Trigger::Kind::kProb: {
+        // Top 53 bits → uniform double in [0, 1).
+        double u = static_cast<double>(Registry::next_rand(p.prng) >> 11) *
+                   (1.0 / 9007199254740992.0);
+        fire = (u < t.probability);
+        break;
+      }
+      case Trigger::Kind::kDelayOnly:
+        fire = false;
+        sleep_ms = t.latency_ms;
+        break;
+    }
+    if (fire) {
+      ++p.fired;
+      sleep_ms = t.latency_ms;
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fire;
+}
+
+}  // namespace detail
+
+void arm(const std::string& point, Trigger trigger) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.arm_locked(point, trigger);
+}
+
+bool arm_spec(const std::string& spec, std::string* error) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.arm_spec_locked(spec, error);
+}
+
+void disarm_all() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.points.clear();
+  reg.armed_count = 0;
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(const std::string& point) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired_count(const std::string& point) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> known_points() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.points.size());
+  for (const auto& kv : reg.points) names.push_back(kv.first);
+  return names;
+}
+
+#endif  // QFTO_FAULTS_DISABLED
+
+}  // namespace fault
+}  // namespace qfto

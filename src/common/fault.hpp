@@ -1,0 +1,113 @@
+// Deterministic fault-injection framework — the robustness counterpart of the
+// sanitizer matrix. Production code declares *named fault points* at the
+// places that can actually fail in the field (socket send/recv, cache file
+// I/O, worker job execution, SAT budget exhaustion, queue admission):
+//
+//   if (QFTO_FAULT_POINT("cache.save.write")) return false;  // injected fail
+//
+// and tests/chaos runs arm those points with triggers:
+//
+//   * always            — fire on every hit
+//   * once:N            — fire exactly once, on the N-th hit (1-based)
+//   * after:N           — fire on every hit after the first N
+//   * prob:P[:SEED]     — fire with probability P per hit, seeded
+//                         (splitmix64), so a chaos run replays bit-identically
+//   * delay:MS          — latency-only: sleep MS milliseconds, never "fire"
+//
+// Any trigger may carry a latency suffix `@MS` (sleep MS ms whenever the
+// trigger fires) — e.g. `net.send.fail=prob:0.1:42@5`.
+//
+// Arming channels, in precedence order:
+//   1. programmatic test API (arm / arm_spec / disarm_all below),
+//   2. the `--faults SPEC` CLI flag (qftmap passes it to arm_spec),
+//   3. the QFTO_FAULTS environment variable (parsed on first use).
+// A SPEC is `name=trigger[;name=trigger...]`.
+//
+// Cost model: compiled out entirely under -DQFTO_FAULTS=OFF (the macro folds
+// to `false` at compile time); when compiled in but disarmed, a fault point
+// is one relaxed atomic load and a predictable branch — cheap enough to keep
+// in Debug/sanitizer builds' hot paths. Hit/fired counters are kept per
+// point while *any* point is armed, so chaos tests can assert that the paths
+// they meant to exercise were actually reached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qfto {
+namespace fault {
+
+/// True when the framework was compiled in (QFTO_FAULTS=ON builds). Tests
+/// that need injection GTEST_SKIP when this is false.
+bool compiled_in();
+
+/// One armed trigger. Build with the helpers below or parse from a spec.
+struct Trigger {
+  enum class Kind { kAlways, kOnce, kAfter, kProb, kDelayOnly };
+  Kind kind = Kind::kAlways;
+  std::uint64_t count = 0;     // kOnce: the hit to fire on; kAfter: threshold
+  double probability = 0.0;    // kProb
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  // kProb PRNG seed
+  std::uint32_t latency_ms = 0;  // sleep when the trigger fires (or on every
+                                 // hit for kDelayOnly)
+};
+
+Trigger always();
+Trigger once(std::uint64_t nth_hit);
+Trigger after(std::uint64_t hits);
+Trigger prob(double probability, std::uint64_t seed = 1);
+Trigger delay_ms(std::uint32_t ms);
+
+/// Arms (or re-arms, resetting counters) one point. No-op when compiled out.
+void arm(const std::string& point, Trigger trigger);
+
+/// Parses and arms a `name=trigger[;name=trigger...]` spec (the CLI/env
+/// grammar). False with a message in `error` on a malformed spec; points
+/// armed before the bad clause stay armed.
+bool arm_spec(const std::string& spec, std::string* error = nullptr);
+
+/// Disarms every point and zeroes all counters. Tests call this in
+/// SetUp/TearDown so armed faults never leak across test cases.
+void disarm_all();
+
+/// Times the point was evaluated / actually fired since it was armed (0 for
+/// never-armed points). Hits are counted for every *known* point while the
+/// framework is enabled — including observed-but-unarmed points, which are
+/// auto-registered so coverage can be asserted.
+std::uint64_t hit_count(const std::string& point);
+std::uint64_t fired_count(const std::string& point);
+
+/// Every point name seen (armed or observed) since the last disarm_all().
+std::vector<std::string> known_points();
+
+// ------------------------------------------------------------- hot path --
+
+namespace detail {
+/// True when at least one point is armed — the only state the disarmed fast
+/// path reads.
+extern std::atomic<bool> g_enabled;
+/// Slow path: look up `point`, count the hit, evaluate its trigger (and
+/// sleep out any injected latency). Only called while g_enabled.
+bool should_fire(const char* point);
+}  // namespace detail
+
+/// The fault-point check behind QFTO_FAULT_POINT. Inline so the disarmed
+/// case is one relaxed load at the call site.
+inline bool check(const char* point) {
+#ifdef QFTO_FAULTS_DISABLED
+  (void)point;
+  return false;
+#else
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return false;
+  return detail::should_fire(point);
+#endif
+}
+
+}  // namespace fault
+}  // namespace qfto
+
+/// Canonical call-site spelling: branch-on-atomic-load when armed-but-cold,
+/// constant false when compiled out.
+#define QFTO_FAULT_POINT(name) ::qfto::fault::check(name)

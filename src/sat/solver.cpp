@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "common/fault.hpp"
 #include "common/types.hpp"
 
 namespace qfto::sat {
@@ -311,6 +312,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
            deadline.expired();
   };
   if (out_of_time()) return Result::kTimeout;
+  if (QFTO_FAULT_POINT("sat.budget.exhaust")) return Result::kTimeout;
   for (const Lit a : assumptions) {
     require(a.var() >= 0 && a.var() < num_vars(), "solve: unknown assumption");
   }

@@ -5,6 +5,15 @@
 // LRU ResultCache serves repeated deterministic requests bit-identically at
 // zero cost. map_qft_batch and the `qftmap --serve` front-end are thin
 // drivers over this class.
+//
+// Deadlines are enforced twice. Cooperatively: the job's cancel token and
+// remaining-budget clamp make well-behaved engines abort on their own.
+// Hard: a watchdog thread fires the cancel token the moment a running job's
+// deadline passes, and if the worker still hasn't retired the job after
+// Options::wedge_grace_seconds (an engine wedged in a non-polling loop), the
+// watchdog retires the job as kExpired itself, detaches the wedged worker
+// thread, and spawns a replacement so pool capacity recovers. Stats exposes
+// watchdog_fired / jobs_wedged / workers_replaced for /metrics.
 #pragma once
 
 #include <atomic>
@@ -17,6 +26,7 @@
 #include <queue>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "pipeline/batch.hpp"
@@ -53,6 +63,8 @@ struct JobResult {
 
 namespace detail {
 struct JobState;
+struct ServiceCore;
+struct WorkerSlot;
 }  // namespace detail
 
 /// Future-like handle to a submitted job. Copyable; all copies observe the
@@ -97,6 +109,11 @@ class MappingService {
     /// Total ResultCache entries (0 disables caching).
     std::size_t cache_capacity = 1024;
     std::size_t cache_shards = 8;
+    /// After the watchdog fires a running job's cancel token at its
+    /// deadline, how long the worker gets to retire the job cooperatively
+    /// before the watchdog declares it wedged, retires it as kExpired, and
+    /// replaces the worker thread.
+    double wedge_grace_seconds = 5.0;
   };
 
   struct Submit {
@@ -110,6 +127,16 @@ class MappingService {
     bool use_cache = true;
   };
 
+  /// Watchdog / resurrection counters (monotonic over the service's life).
+  struct Stats {
+    /// Cancel tokens fired by the watchdog at a running job's deadline.
+    std::uint64_t watchdog_fired = 0;
+    /// Jobs hard-retired as kExpired after the wedge grace elapsed.
+    std::uint64_t jobs_wedged = 0;
+    /// Wedged worker threads detached and replaced with fresh ones.
+    std::uint64_t workers_replaced = 0;
+  };
+
   /// The pipeline must outlive the service. Workers start immediately and
   /// idle on the queue's condition variable until jobs arrive. (The
   /// zero-argument overload stands in for an `Options{}` default argument,
@@ -120,7 +147,12 @@ class MappingService {
   MappingService();
 
   /// Drains on destruction: queued jobs are retired as kCancelled, running
-  /// jobs get their cancel token flipped, and all workers are joined.
+  /// jobs get their cancel token flipped, and all workers are joined. A
+  /// worker wedged in a non-polling engine is detached once its job's
+  /// deadline + grace passes, so shutdown is not held hostage — but the
+  /// detached thread may still be executing engine code afterwards, so the
+  /// pipeline (and any caller-owned MapOptions::target) must stay alive
+  /// until such engines actually return.
   ~MappingService();
 
   MappingService(const MappingService&) = delete;
@@ -136,45 +168,39 @@ class MappingService {
   /// concurrency — the persistent pool behind map_qft_batch.
   static MappingService& shared();
 
-  std::int32_t num_threads() const {
-    return static_cast<std::int32_t>(workers_.size());
-  }
-  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Configured pool capacity. Replacement keeps this invariant: a wedged
+  /// worker's detachment is paired with a fresh spawn, so num_threads() is
+  /// constant over the service's life.
+  std::int32_t num_threads() const;
+  ResultCache::Stats cache_stats() const;
+  Stats stats() const;
 
   /// Jobs waiting for a worker / currently on one — the /metrics queue-depth
   /// signals and the NetServer's load-shedding inputs. Point-in-time reads;
-  /// by the time the caller acts the numbers may have moved.
+  /// by the time the caller acts the numbers may have moved. Wedged jobs
+  /// leave running_count() when the watchdog retires them, even though the
+  /// detached thread may still be unwinding.
   std::size_t queue_depth() const;
   std::size_t running_count() const;
 
   /// Direct cache access for persistence (--cache-file save/load). The
   /// cache is internally synchronized, so this is safe while workers run.
-  ResultCache& cache() { return cache_; }
+  ResultCache& cache();
 
  private:
-  struct QueueOrder;
+  void watchdog_loop();
+  void replace_worker(const std::shared_ptr<detail::WorkerSlot>& slot,
+                      bool respawn);
 
-  void worker_loop();
-  void process(const std::shared_ptr<detail::JobState>& job);
+  /// All state shared with worker threads lives behind a shared_ptr so a
+  /// wedged, detached worker that eventually returns from its engine can
+  /// finish bookkeeping safely even after the service was destroyed.
+  std::shared_ptr<detail::ServiceCore> core_;
 
-  const MapperPipeline* pipeline_;
-  ResultCache cache_;
-
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::priority_queue<std::shared_ptr<detail::JobState>,
-                      std::vector<std::shared_ptr<detail::JobState>>,
-                      bool (*)(const std::shared_ptr<detail::JobState>&,
-                               const std::shared_ptr<detail::JobState>&)>
-      queue_;
-  bool stopping_ = false;
-  std::int64_t next_sequence_ = 0;
-  std::atomic<std::int64_t> next_dispatch_{0};
-  /// Jobs currently on a worker (guarded by queue_mutex_); the destructor
-  /// flips their cancel tokens so shutdown does not wait out solver budgets.
-  std::vector<std::shared_ptr<detail::JobState>> running_;
-
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_mutex_;
+  std::vector<std::pair<std::thread, std::shared_ptr<detail::WorkerSlot>>>
+      workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace qfto

@@ -1,11 +1,16 @@
 #include "service/net_server.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+
+#include "common/fault.hpp"
 
 namespace qfto {
 namespace net {
@@ -89,11 +94,38 @@ struct NetServer::Connection {
 NetServer::NetServer(MappingService& service, Options options)
     : service_(&service),
       options_(std::move(options)),
-      listener_(options_.host, options_.port) {}
+      listener_(options_.host, options_.port) {
+  // Self-pipe for signal-safe shutdown wake-ups. Non-blocking on both ends:
+  // the handler's write must never block (a full pipe just means the wake-up
+  // is already latched). On failure the fds stay -1 and the accept loop
+  // falls back to its poll timeout — slower to stop, still correct.
+  if (::pipe(wake_pipe_) == 0) {
+    for (int fd : wake_pipe_) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  } else {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+}
 
 NetServer::~NetServer() {
   request_stop();
   stop_and_drain();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void NetServer::request_stop() {
+  // Async-signal-safe: atomic store + write(). Nothing here may take a lock
+  // or allocate — the CLI's SIGTERM handler calls this directly.
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  }
 }
 
 void NetServer::run() {
@@ -106,7 +138,7 @@ void NetServer::start() {
 
 void NetServer::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    Socket sock = listener_.accept_connection(50);
+    Socket sock = listener_.accept_connection(50, wake_pipe_[0]);
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       reap_finished_locked();
@@ -160,6 +192,13 @@ NetServer::Pending NetServer::make_entry(Connection& conn,
   // Admission control. Both bounds are advisory point-in-time reads — two
   // racing readers may both admit at the edge — which is fine: the bound
   // exists to stop unbounded queue growth, not to be an exact semaphore.
+  if (QFTO_FAULT_POINT("serve.admit.shed")) {
+    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    entry.kind = Pending::Kind::kShed;
+    entry.immediate = serve_inband_error(
+        req.id, "shed", "injected fault: admission rejected; retry later");
+    return entry;
+  }
   if (options_.max_inflight > 0 &&
       metrics_.in_flight.load(std::memory_order_relaxed) >=
           static_cast<std::int64_t>(options_.max_inflight)) {
@@ -241,7 +280,7 @@ void NetServer::serve_connection(Connection& conn) {
     Pending entry;
     entry.kind = Pending::Kind::kParseError;
     entry.immediate = serve_inband_error(
-        "null", "failed",
+        "null", "error",
         "request line exceeds " + std::to_string(options_.max_line) +
             " bytes");
     push(std::move(entry));
@@ -305,7 +344,7 @@ void NetServer::serve_http(Connection& conn, LineReader& reader,
   if (method == "POST" && path == "/map") {
     if (content_length < 0 ||
         content_length > static_cast<long long>(options_.max_line)) {
-      simple("411 Length Required", "failed",
+      simple("411 Length Required", "error",
              "POST /map requires a Content-Length within the line bound");
       return;
     }
@@ -323,7 +362,7 @@ void NetServer::serve_http(Connection& conn, LineReader& reader,
     push(std::move(entry));
     return;
   }
-  simple("404 Not Found", "failed",
+  simple("404 Not Found", "error",
          "unsupported endpoint (GET /metrics, POST /map)");
 }
 

@@ -85,9 +85,11 @@ class NetServer {
   /// run() on a background thread (tests and benchmarks).
   void start();
 
-  /// Stops the accept loop. Only stores an atomic flag, so it is safe to
-  /// call from a signal handler — the SIGTERM path in the CLI.
-  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Stops the accept loop. Async-signal-safe by construction — one atomic
+  /// store plus a write() to a self-pipe that wakes the accept loop's poll —
+  /// so the CLI's SIGTERM/SIGINT handler may call it directly. It must never
+  /// grow a lock, an allocation, or any other non-signal-safe work.
+  void request_stop();
 
   /// Graceful drain: stop accepting, close the listener, half-close every
   /// connection (clients see EOF; no new requests are read), wait up to
@@ -114,6 +116,10 @@ class NetServer {
   ServeMetrics metrics_;
 
   std::atomic<bool> stop_{false};
+  /// Self-pipe ([0] read / [1] write): request_stop() writes one byte so the
+  /// accept loop's poll returns immediately instead of sitting out its
+  /// timeout — the async-signal-safe wake-up a signal handler needs.
+  int wake_pipe_[2] = {-1, -1};
   std::thread accept_thread_;  // only when start() was used
   bool drained_ = false;
 

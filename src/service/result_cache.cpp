@@ -1,12 +1,19 @@
 #include "service/result_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "common/fault.hpp"
 #include "qasm/qasm.hpp"
 
 namespace qfto {
@@ -148,6 +155,7 @@ void ResultCache::clear() {
 ResultCache::Stats ResultCache::stats() const {
   Stats total;
   total.capacity = capacity_;
+  total.load_quarantined = load_quarantined_.load(std::memory_order_relaxed);
   for (const auto& sp : shards_) {
     std::lock_guard<std::mutex> lock(sp->mutex);
     total.hits += sp->hits;
@@ -220,6 +228,12 @@ bool ResultCache::save(std::ostream& out) const {
     }
     for (const auto& [key, result] : entries) {
       const MapResult& r = *result;
+      if (QFTO_FAULT_POINT("cache.save.write")) {
+        // Injected mid-save stream failure: the half-written output must be
+        // reported failed, and save_file must leave the target untouched.
+        out.setstate(std::ios::failbit);
+        return false;
+      }
       out << "entry\n";
       write_blob(out, "key", key);
       write_blob(out, "engine", r.engine);
@@ -248,118 +262,223 @@ bool ResultCache::save(std::ostream& out) const {
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// One parsed record, ready for put(). On failure `reason` says why; the
+/// stream is left wherever parsing stopped and the caller resynchronizes.
+struct ParsedCacheEntry {
+  std::string key;
+  std::shared_ptr<MapResult> result;
+};
+
+bool parse_cache_entry(std::istream& in, ParsedCacheEntry& out,
+                       std::string& reason) {
+  std::string scratch, line;
+  const auto fail = [&](const std::string& what) {
+    reason = what;
+    return false;
+  };
+  std::string err;
+  std::size_t len = 0;
+  std::string key, engine;
+  // key
+  if (!read_line(in, line, err, "key")) return fail(err);
+  if (std::sscanf(line.c_str(), "key %zu", &len) != 1) {
+    return fail("bad key header");
+  }
+  if (!read_blob(in, len, key, err, "key")) return fail(err);
+  // engine
+  if (!read_line(in, line, err, "engine")) return fail(err);
+  if (std::sscanf(line.c_str(), "engine %zu", &len) != 1) {
+    return fail("bad engine header");
+  }
+  if (!read_blob(in, len, engine, err, "engine")) return fail(err);
+  // n
+  long long n = 0;
+  if (!read_line(in, line, err, "n")) return fail(err);
+  if (std::sscanf(line.c_str(), "n %lld", &n) != 1 || n < 1 ||
+      n > 16'777'216) {
+    return fail("bad n");
+  }
+  // graph
+  long long qubits = 0, edges = 0;
+  std::size_t name_len = 0;
+  if (!read_line(in, line, err, "graph")) return fail(err);
+  if (std::sscanf(line.c_str(), "graph %lld %lld %zu", &qubits, &edges,
+                  &name_len) != 3 ||
+      qubits < 0 || qubits > 16'777'216 || edges < 0) {
+    return fail("bad graph header");
+  }
+  std::string graph_name;
+  if (!read_blob(in, name_len, graph_name, err, "graph name")) {
+    return fail(err);
+  }
+  CouplingGraph graph(graph_name, static_cast<std::int32_t>(qubits));
+  for (long long i = 0; i < edges; ++i) {
+    long long a = 0, b = 0;
+    int type = 0;
+    if (!read_line(in, line, err, "edge")) return fail(err);
+    if (std::sscanf(line.c_str(), "e %lld %lld %d", &a, &b, &type) != 3 ||
+        a < 0 || b < 0 || a >= qubits || b >= qubits || a == b ||
+        type < 0 || static_cast<std::size_t>(type) >= kLinkTypeCount ||
+        graph.adjacent(static_cast<PhysicalQubit>(a),
+                       static_cast<PhysicalQubit>(b))) {
+      return fail("bad edge");
+    }
+    graph.add_edge(static_cast<PhysicalQubit>(a),
+                   static_cast<PhysicalQubit>(b),
+                   static_cast<LinkType>(type));
+  }
+  // check report
+  int check_ok = 0;
+  long long depth = 0, h = 0, x = 0, rz = 0, cphase = 0, swap = 0, cnot = 0;
+  std::size_t err_len = 0;
+  if (!read_line(in, line, err, "check")) return fail(err);
+  if (std::sscanf(line.c_str(),
+                  "check %d %lld %lld %lld %lld %lld %lld %lld %zu",
+                  &check_ok, &depth, &h, &x, &rz, &cphase, &swap, &cnot,
+                  &err_len) != 9) {
+    return fail("bad check header");
+  }
+  std::string check_error;
+  if (!read_blob(in, err_len, check_error, err, "check error")) {
+    return fail(err);
+  }
+  // qasm payload
+  if (!read_line(in, line, err, "qasm")) return fail(err);
+  if (std::sscanf(line.c_str(), "qasm %zu", &len) != 1) {
+    return fail("bad qasm header");
+  }
+  if (!read_blob(in, len, scratch, err, "qasm")) return fail(err);
+  if (!read_line(in, line, err, "end")) return fail(err);
+  if (line != "end") return fail("expected \"end\"");
+
+  auto result = std::make_shared<MapResult>();
+  result->engine = std::move(engine);
+  result->requested_n = static_cast<std::int32_t>(n);
+  result->n = static_cast<std::int32_t>(n);
+  try {
+    result->mapped = mapped_from_qasm(scratch);
+  } catch (const std::invalid_argument& e) {
+    return fail(std::string("bad qasm payload: ") + e.what());
+  }
+  result->graph = std::move(graph);
+  result->check.ok = check_ok != 0;
+  result->check.error = std::move(check_error);
+  result->check.depth = static_cast<Cycle>(depth);
+  result->check.counts.h = h;
+  result->check.counts.x = x;
+  result->check.counts.rz = rz;
+  result->check.counts.cphase = cphase;
+  result->check.counts.swap = swap;
+  result->check.counts.cnot = cnot;
+  result->timings = MapTimings{};
+  result->cache_hit = true;
+  out.key = std::move(key);
+  out.result = std::move(result);
+  return true;
+}
+
+}  // namespace
+
 bool ResultCache::load(std::istream& in, std::string* error) {
-  std::string scratch;
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what;
     return false;
   };
   std::string line;
+  if (QFTO_FAULT_POINT("cache.load.fail")) {
+    return fail("cache load: injected read failure");
+  }
   if (!std::getline(in, line) || line != kCacheMagic) {
     return fail("cache load: bad magic (not a qftmap cache file?)");
   }
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line != "entry") return fail("cache load: expected \"entry\"");
-
-    std::string err;
-    std::size_t len = 0;
-    std::string key, engine;
-    // key
-    if (!read_line(in, line, err, "key")) return fail(err);
-    if (std::sscanf(line.c_str(), "key %zu", &len) != 1) {
-      return fail("cache load: bad key header");
+  // Quarantine discipline: a record that fails to parse costs exactly that
+  // record. We count it, remember the first reason for the error summary,
+  // and resynchronize at the next "entry" marker — blob payloads can contain
+  // anything, so resync is best-effort, but a wrong resync point just
+  // quarantines one more record, never crashes the load.
+  std::uint64_t quarantined = 0;
+  std::string first_reason;
+  const auto quarantine = [&](const std::string& reason) {
+    ++quarantined;
+    if (first_reason.empty()) first_reason = reason;
+    while (std::getline(in, line)) {
+      if (line == "entry") return true;  // resynced: parse from here
     }
-    if (!read_blob(in, len, key, err, "key")) return fail(err);
-    // engine
-    if (!read_line(in, line, err, "engine")) return fail(err);
-    if (std::sscanf(line.c_str(), "engine %zu", &len) != 1) {
-      return fail("cache load: bad engine header");
-    }
-    if (!read_blob(in, len, engine, err, "engine")) return fail(err);
-    // n
-    long long n = 0;
-    if (!read_line(in, line, err, "n")) return fail(err);
-    if (std::sscanf(line.c_str(), "n %lld", &n) != 1 || n < 1 ||
-        n > 16'777'216) {
-      return fail("cache load: bad n");
-    }
-    // graph
-    long long qubits = 0, edges = 0;
-    std::size_t name_len = 0;
-    if (!read_line(in, line, err, "graph")) return fail(err);
-    if (std::sscanf(line.c_str(), "graph %lld %lld %zu", &qubits, &edges,
-                    &name_len) != 3 ||
-        qubits < 0 || qubits > 16'777'216 || edges < 0) {
-      return fail("cache load: bad graph header");
-    }
-    std::string graph_name;
-    if (!read_blob(in, name_len, graph_name, err, "graph name")) {
-      return fail(err);
-    }
-    CouplingGraph graph(graph_name, static_cast<std::int32_t>(qubits));
-    for (long long i = 0; i < edges; ++i) {
-      long long a = 0, b = 0;
-      int type = 0;
-      if (!read_line(in, line, err, "edge")) return fail(err);
-      if (std::sscanf(line.c_str(), "e %lld %lld %d", &a, &b, &type) != 3 ||
-          a < 0 || b < 0 || a >= qubits || b >= qubits || a == b ||
-          type < 0 || static_cast<std::size_t>(type) >= kLinkTypeCount ||
-          graph.adjacent(static_cast<PhysicalQubit>(a),
-                         static_cast<PhysicalQubit>(b))) {
-        return fail("cache load: bad edge");
+    return false;  // EOF while scanning
+  };
+  bool at_entry = false;  // "entry" already consumed by a resync scan
+  for (;;) {
+    if (!at_entry) {
+      if (!std::getline(in, line)) break;
+      if (line.empty()) continue;
+      if (line != "entry") {
+        if (!quarantine("expected \"entry\", got \"" + line + "\"")) break;
+        at_entry = true;
+        continue;
       }
-      graph.add_edge(static_cast<PhysicalQubit>(a),
-                     static_cast<PhysicalQubit>(b),
-                     static_cast<LinkType>(type));
     }
-    // check report
-    int check_ok = 0;
-    long long depth = 0, h = 0, x = 0, rz = 0, cphase = 0, swap = 0,
-              cnot = 0;
-    std::size_t err_len = 0;
-    if (!read_line(in, line, err, "check")) return fail(err);
-    if (std::sscanf(line.c_str(),
-                    "check %d %lld %lld %lld %lld %lld %lld %lld %zu",
-                    &check_ok, &depth, &h, &x, &rz, &cphase, &swap, &cnot,
-                    &err_len) != 9) {
-      return fail("cache load: bad check header");
+    at_entry = false;
+    ParsedCacheEntry entry;
+    std::string reason;
+    if (parse_cache_entry(in, entry, reason)) {
+      put(entry.key, std::move(entry.result));
+    } else {
+      at_entry = quarantine(reason);
+      if (!at_entry && in.eof()) break;
     }
-    std::string check_error;
-    if (!read_blob(in, err_len, check_error, err, "check error")) {
-      return fail(err);
+  }
+  if (quarantined > 0) {
+    load_quarantined_.fetch_add(quarantined, std::memory_order_relaxed);
+    if (error != nullptr) {
+      *error = "cache load: quarantined " + std::to_string(quarantined) +
+               " malformed record(s) (first: " + first_reason + ")";
     }
-    // qasm payload
-    if (!read_line(in, line, err, "qasm")) return fail(err);
-    if (std::sscanf(line.c_str(), "qasm %zu", &len) != 1) {
-      return fail("cache load: bad qasm header");
-    }
-    if (!read_blob(in, len, scratch, err, "qasm")) return fail(err);
-    if (!read_line(in, line, err, "end")) return fail(err);
-    if (line != "end") return fail("cache load: expected \"end\"");
+  }
+  return true;
+}
 
-    auto result = std::make_shared<MapResult>();
-    result->engine = std::move(engine);
-    result->requested_n = static_cast<std::int32_t>(n);
-    result->n = static_cast<std::int32_t>(n);
-    try {
-      result->mapped = mapped_from_qasm(scratch);
-    } catch (const std::invalid_argument& e) {
-      return fail(std::string("cache load: bad qasm payload: ") + e.what());
+bool ResultCache::save_file(const std::string& path, std::string* error) const {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  // Temp file beside the target (same directory, so rename() is atomic and
+  // never crosses a filesystem), then fsync + rename: a crash or SIGKILL at
+  // any instant leaves either the complete old file or the complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cache save: cannot open " + tmp);
+    if (!save(out)) {
+      out.close();
+      std::remove(tmp.c_str());
+      return fail("cache save: write to " + tmp + " failed");
     }
-    result->graph = std::move(graph);
-    result->check.ok = check_ok != 0;
-    result->check.error = std::move(check_error);
-    result->check.depth = static_cast<Cycle>(depth);
-    result->check.counts.h = h;
-    result->check.counts.x = x;
-    result->check.counts.rz = rz;
-    result->check.counts.cphase = cphase;
-    result->check.counts.swap = swap;
-    result->check.counts.cnot = cnot;
-    result->timings = MapTimings{};
-    result->cache_hit = true;
-    put(key, std::move(result));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return fail("cache save: flush of " + tmp + " failed");
+    }
+  }
+  // Push the bytes to stable storage before the rename publishes them — a
+  // rename that beats the data to disk could publish an empty file across a
+  // power loss.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (QFTO_FAULT_POINT("cache.save.rename")) {
+    std::remove(tmp.c_str());
+    return fail("cache save: injected rename failure");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return fail("cache save: rename to " + path + " failed: " + why);
   }
   return true;
 }

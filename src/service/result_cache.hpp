@@ -6,6 +6,7 @@
 // workers on different keys never contend on one lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <list>
@@ -55,6 +56,9 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Malformed records skipped (not loaded) by load() over this cache's
+    /// lifetime — one corrupt entry costs exactly that entry.
+    std::uint64_t load_quarantined = 0;
     std::size_t entries = 0;
     std::size_t capacity = 0;  // configured global bound (entries <= capacity)
   };
@@ -73,10 +77,21 @@ class ResultCache {
   /// fails mid-write.
   bool save(std::ostream& out) const;
 
+  /// save() to `path` crash-safely: the bytes go to a sibling temp file,
+  /// which is fsynced and atomically renamed over `path` — a crash or
+  /// SIGKILL at any instant leaves either the old file or the new one,
+  /// never a truncation. False with a message in `error` on any failure
+  /// (the temp file is removed; `path` is untouched).
+  bool save_file(const std::string& path, std::string* error = nullptr) const;
+
   /// Restores entries written by save() through the normal put() path (the
   /// capacity bound applies; a smaller cache keeps the most recent tail).
-  /// False with a message in `error` on a malformed or version-mismatched
-  /// stream; entries already inserted stay.
+  /// False with a message in `error` on a bad magic line or an injected
+  /// read failure. A malformed *entry* does not abort the load: the record
+  /// is quarantined (counted in Stats::load_quarantined and summarized in
+  /// `error`, which can be set even when load returns true) and reading
+  /// resynchronizes at the next "entry" line — one corrupt record must not
+  /// discard an entire warmed cache.
   bool load(std::istream& in, std::string* error = nullptr);
 
  private:
@@ -100,6 +115,7 @@ class ResultCache {
 
   std::size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> load_quarantined_{0};
 };
 
 }  // namespace qfto

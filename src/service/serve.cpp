@@ -272,16 +272,27 @@ void append_number(std::string& out, double v) {
   out += buf;
 }
 
+/// The error taxonomy's status word — identical over stdio, TCP and HTTP.
+/// Every response carries one of: ok | error | cancelled | timeout | shed
+/// ("shed" is minted by the transports' admission control, not by JobStatus).
 const char* status_word(JobStatus s) {
   switch (s) {
-    case JobStatus::kQueued: return "queued";
-    case JobStatus::kRunning: return "running";
-    case JobStatus::kDone: return "done";
+    case JobStatus::kQueued: return "queued";    // never serialized
+    case JobStatus::kRunning: return "running";  // never serialized
+    case JobStatus::kDone: return "ok";
     case JobStatus::kCancelled: return "cancelled";
-    case JobStatus::kExpired: return "expired";
-    case JobStatus::kFailed: return "failed";
+    case JobStatus::kExpired: return "timeout";
+    case JobStatus::kFailed: return "error";
   }
-  return "unknown";
+  return "error";
+}
+
+/// Whether a client should retry the same request. Timeouts and load
+/// shedding are transient (more budget / less load can succeed); cancels
+/// were asked for and hard errors are deterministic, so retrying burns
+/// worker time reproducing the same outcome.
+bool status_retryable(const std::string& status) {
+  return status == "timeout" || status == "shed";
 }
 
 /// Integer field helper: the protocol's counts must be integral. Values
@@ -478,13 +489,21 @@ ServeRequest parse_serve_request(std::string_view line) {
 std::string serve_response_json(const std::string& id, const JobResult& out) {
   std::string s = "{\"id\":" + id;
   if (!out.ok()) {
-    s += ",\"ok\":false,\"status\":\"";
-    s += status_word(out.status);
-    s += "\",\"error\":\"" + json_escape(out.error) + "\"}";
+    const std::string status = status_word(out.status);
+    s += ",\"ok\":false,\"status\":\"" + status + "\"";
+    s += ",\"retryable\":";
+    s += status_retryable(status) ? "true" : "false";
+    s += ",\"error\":\"" + json_escape(out.error) + "\"";
+    // Failures report queue time too: a fleet shedding deadline-expired work
+    // needs to see *where* the budget went (queued vs running).
+    s += ",\"queue_seconds\":";
+    append_number(s, out.queue_seconds);
+    s += "}";
     return s;
   }
   const MapResult& r = *out.result;
-  s += ",\"ok\":true,\"engine\":\"" + json_escape(r.engine) + "\"";
+  s += ",\"ok\":true,\"status\":\"ok\"";
+  s += ",\"engine\":\"" + json_escape(r.engine) + "\"";
   s += ",\"requested_n\":" + std::to_string(r.requested_n);
   s += ",\"n\":" + std::to_string(r.n);
   s += ",\"physical\":" + std::to_string(r.graph.num_qubits());
@@ -519,7 +538,9 @@ std::string serve_inband_error(const std::string& id,
                                const std::string& status,
                                const std::string& error) {
   return "{\"id\":" + id + ",\"ok\":false,\"status\":\"" +
-         json_escape(status) + "\",\"error\":\"" + json_escape(error) + "\"}";
+         json_escape(status) + "\",\"retryable\":" +
+         (status_retryable(status) ? "true" : "false") + ",\"error\":\"" +
+         json_escape(error) + "\"}";
 }
 
 // ------------------------------------------------------------- metrics --
@@ -546,6 +567,10 @@ std::string metrics_json(const MappingService& service,
   s += ",\"queue_depth\":" + std::to_string(service.queue_depth());
   s += ",\"running\":" + std::to_string(service.running_count());
   s += ",\"workers\":" + std::to_string(service.num_threads());
+  const MappingService::Stats svc = service.stats();
+  s += ",\"service\":{\"watchdog_fired\":" + std::to_string(svc.watchdog_fired);
+  s += ",\"jobs_wedged\":" + std::to_string(svc.jobs_wedged);
+  s += ",\"workers_replaced\":" + std::to_string(svc.workers_replaced) + "}";
   s += ",\"requests\":" + count(metrics.requests);
   s += ",\"responses\":" + count(metrics.responses);
   s += ",\"shed\":" + count(metrics.shed);
@@ -556,6 +581,7 @@ std::string metrics_json(const MappingService& service,
   s += ",\"misses\":" + std::to_string(cache.misses);
   s += ",\"insertions\":" + std::to_string(cache.insertions);
   s += ",\"evictions\":" + std::to_string(cache.evictions);
+  s += ",\"load_quarantined\":" + std::to_string(cache.load_quarantined);
   s += ",\"entries\":" + std::to_string(cache.entries);
   s += ",\"capacity\":" + std::to_string(cache.capacity) + "}";
   s += ",\"sat\":{\"conflicts\":" + count(metrics.sat_conflicts);

@@ -33,6 +33,7 @@
 // payload `GET /metrics` serves over the socket front-end:
 //
 //   {"ok":true,"metrics":true,"queue_depth":...,"running":...,"workers":...,
+//    "service":{"watchdog_fired":...,"jobs_wedged":...,"workers_replaced":...},
 //    "requests":...,"responses":...,"shed":...,"parse_errors":...,
 //    "in_flight":...,
 //    "cache":{"hits":...,"misses":...,"insertions":...,"evictions":...,
@@ -49,16 +50,32 @@
 // completes (jobs themselves run concurrently and may be reordered by
 // priority):
 //
-//   {"id":1,"ok":true,"engine":"lattice","requested_n":100,"n":100,
-//    "physical":100,"depth":419,"h":100,"cphase":4950,"swap":4851,
+//   {"id":1,"ok":true,"status":"ok","engine":"lattice","requested_n":100,
+//    "n":100,"physical":100,"depth":419,"h":100,"cphase":4950,"swap":4851,
 //    "cnot":0,"cache_hit":false,"map_seconds":...,"check_seconds":...,
 //    "queue_seconds":...}
-//   {"id":2,"ok":false,"status":"expired","error":"deadline exceeded ..."}
+//   {"id":2,"ok":false,"status":"timeout","retryable":true,
+//    "error":"deadline exceeded ...","queue_seconds":...}
+//
+// Every response carries the error-taxonomy status word — identical over
+// stdio, TCP and HTTP:
+//
+//   status     | meaning                                  | retryable
+//   -----------+------------------------------------------+----------
+//   ok         | mapped result follows                    | —
+//   error      | engine threw / bad request               | false
+//   cancelled  | caller (or shutdown) cancelled the job   | false
+//   timeout    | per-job deadline won (incl. watchdog)    | true
+//   shed       | admission control rejected under load    | true
+//
+// Failure responses carry `retryable` (should the client re-send this exact
+// request after a backoff — see net::request_with_retry) and their
+// `queue_seconds`.
 //
 // SAT-backed engines (satmap) additionally report their search effort:
 // "sat_conflicts", "sat_decisions", "sat_restarts", "sat_solve_calls".
 // The socket front-end adds one failure status the stdio loop never emits:
-// {"ok":false,"status":"shed","error":...} when admission control rejects a
+// {"ok":false,"status":"shed",...} when admission control rejects a
 // request under load (see net_server.hpp).
 #pragma once
 

@@ -9,9 +9,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "common/fault.hpp"
 
 namespace qfto {
 namespace net {
@@ -46,9 +50,16 @@ void Socket::close() {
 bool Socket::send_all(const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
+    if (QFTO_FAULT_POINT("net.send.fail")) return false;  // injected reset
+    std::size_t chunk = len;
+    if (len > 1 && QFTO_FAULT_POINT("net.send.short")) {
+      // Injected short write: push only half of what remains so the partial-
+      // write continuation below is exercised, not just trusted.
+      chunk = len / 2;
+    }
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process
     // with SIGPIPE — the writer loop turns the error into cancellation.
-    const ssize_t sent = ::send(fd_, p, len, MSG_NOSIGNAL);
+    const ssize_t sent = ::send(fd_, p, chunk, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       return false;  // incl. EAGAIN from SO_SNDTIMEO: treat a stuck peer as dead
@@ -61,6 +72,11 @@ bool Socket::send_all(const void* data, std::size_t len) {
 }
 
 long Socket::recv_some(void* buf, std::size_t len) {
+  if (QFTO_FAULT_POINT("net.recv.fail")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (QFTO_FAULT_POINT("net.recv.eof")) return 0;  // injected peer close
   for (;;) {
     const ssize_t got = ::recv(fd_, buf, len, 0);
     if (got < 0 && errno == EINTR) continue;
@@ -174,13 +190,28 @@ Listener::Listener(const std::string& host, std::uint16_t port, int backlog)
   sock_ = std::move(sock);
 }
 
-Socket Listener::accept_connection(int timeout_ms) {
+Socket Listener::accept_connection(int timeout_ms, int wake_fd) {
   if (!sock_.valid()) return Socket{};
-  pollfd pfd{};
-  pfd.fd = sock_.fd();
-  pfd.events = POLLIN;
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  pollfd pfds[2];
+  pfds[0] = pollfd{};
+  pfds[0].fd = sock_.fd();
+  pfds[0].events = POLLIN;
+  nfds_t nfds = 1;
+  if (wake_fd >= 0) {
+    pfds[1] = pollfd{};
+    pfds[1].fd = wake_fd;
+    pfds[1].events = POLLIN;
+    nfds = 2;
+  }
+  const int ready = ::poll(pfds, nfds, timeout_ms);
   if (ready <= 0) return Socket{};  // timeout or poll error
+  // A self-pipe byte means "stop requested": return to the caller at once —
+  // and deliberately without draining the pipe, so the wake-up latches for
+  // any subsequent poll too. Checking it first makes shutdown win ties.
+  if (nfds == 2 && (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+    return Socket{};
+  }
+  if ((pfds[0].revents & POLLIN) == 0) return Socket{};
   const int fd = ::accept(sock_.fd(), nullptr, nullptr);
   if (fd < 0) return Socket{};
   return Socket(fd);
@@ -249,6 +280,81 @@ bool LineReader::read_exact(std::size_t n, std::string& out) {
     out.append(chunk, static_cast<std::size_t>(got));
   }
   return true;
+}
+
+// ------------------------------------------------------------------- retry --
+
+namespace {
+
+// splitmix64: deterministic jitter from (seed, attempt) with no shared state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double backoff_delay(const RetryPolicy& policy, int attempt) {
+  if (attempt < 1) attempt = 1;
+  double delay = policy.base_seconds;
+  for (int i = 1; i < attempt && delay < policy.max_seconds; ++i) {
+    delay *= policy.multiplier;
+  }
+  if (delay > policy.max_seconds) delay = policy.max_seconds;
+  if (delay < 0.0) delay = 0.0;
+  const std::uint64_t r =
+      mix64(policy.jitter_seed + static_cast<std::uint64_t>(attempt));
+  const double unit =
+      static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  return delay * (0.5 + 0.5 * unit);
+}
+
+RetryResult request_with_retry(const std::string& host, std::uint16_t port,
+                               const std::string& request_line,
+                               const RetryPolicy& policy) {
+  std::string line = request_line;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  RetryResult result;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_delay(policy, attempt - 1)));
+    }
+    std::string dial_error;
+    Socket sock = dial(host, port, &dial_error);
+    if (!sock.valid()) {
+      result.error = "dial: " + dial_error;
+      continue;
+    }
+    if (!sock.send_all(line)) {
+      result.error = "send failed";
+      continue;
+    }
+    LineReader reader(sock);
+    std::string response;
+    if (!reader.next(response)) {
+      result.error = reader.status() == LineReader::Status::kEof
+                         ? "connection closed before response"
+                         : "read failed";
+      continue;
+    }
+    // The serve taxonomy's transient statuses (timeout, shed) are marked
+    // retryable in-band; matched textually so this layer stays JSON-free.
+    if (attempt < max_attempts &&
+        response.find("\"retryable\":true") != std::string::npos) {
+      result.error = "retryable response";
+      continue;
+    }
+    result.ok = true;
+    result.response = std::move(response);
+    result.error.clear();
+    return result;
+  }
+  return result;
 }
 
 // -------------------------------------------------------- LatencyHistogram --

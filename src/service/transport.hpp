@@ -87,8 +87,11 @@ class Listener {
 
   /// Waits up to `timeout_ms` for a connection (poll + accept). Invalid
   /// Socket on timeout or listener failure — callers poll in a loop against
-  /// their own stop flag rather than blocking indefinitely.
-  Socket accept_connection(int timeout_ms);
+  /// their own stop flag rather than blocking indefinitely. When `wake_fd`
+  /// is >= 0 it is polled alongside the listener; readability there (the
+  /// self-pipe a signal handler writes to) aborts the wait immediately so a
+  /// SIGTERM drain does not sit out the remaining timeout.
+  Socket accept_connection(int timeout_ms, int wake_fd = -1);
 
   void close() { sock_.close(); }
 
@@ -129,6 +132,41 @@ class LineReader {
   std::size_t pos_ = 0;
   Status status_ = Status::kOk;
 };
+
+/// Client-side retry discipline: jittered exponential backoff. Deterministic
+/// given the seed, so tests can assert the exact delay schedule.
+struct RetryPolicy {
+  int max_attempts = 4;        // total tries, including the first
+  double base_seconds = 0.05;  // delay before the first retry
+  double multiplier = 2.0;     // growth per retry
+  double max_seconds = 1.0;    // backoff ceiling (pre-jitter)
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Delay before retry number `attempt` (1-based: the delay between try 1 and
+/// try 2 is attempt=1). Exponential growth clamped to max_seconds, then
+/// scaled by a deterministic jitter factor in [0.5, 1.0] — full-jitter halves
+/// thundering herds without making test schedules unpredictable.
+double backoff_delay(const RetryPolicy& policy, int attempt);
+
+struct RetryResult {
+  bool ok = false;     // a response line was received (it may still carry
+                       // an in-band non-retryable failure)
+  int attempts = 0;    // tries consumed
+  std::string response;  // the response line (when ok)
+  std::string error;     // last transport error (when !ok)
+};
+
+/// One-request client with the retry discipline the serve protocol's
+/// `retryable` flag asks for: dial, send `request_line` (a '\n' is appended
+/// when missing), read one response line. Retries — after backoff_delay —
+/// on dial/send failure, connection loss before a full line, and on
+/// responses flagged `"retryable":true` (matched textually; the transport
+/// layer deliberately does not parse the serve JSON). Non-retryable
+/// responses return immediately with ok = true.
+RetryResult request_with_retry(const std::string& host, std::uint16_t port,
+                               const std::string& request_line,
+                               const RetryPolicy& policy = RetryPolicy{});
 
 /// Wait-free log-bucketed latency histogram: ~1 µs to ~18 minutes at four
 /// buckets per octave (~19% relative resolution). record() is one relaxed

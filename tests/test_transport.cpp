@@ -221,7 +221,7 @@ TEST(Transport, OversizedLineGetsInBandErrorThenClose) {
   const std::string huge(2048, 'x');
   ASSERT_TRUE(sock.send_all(huge));  // no newline yet: one unframed blob
   const std::string line = read_line(reader);
-  EXPECT_NE(line.find("\"status\":\"failed\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos) << line;
   EXPECT_NE(line.find("exceeds"), std::string::npos) << line;
   std::string extra;
   EXPECT_FALSE(reader.next(extra)) << "server must stop reading after abuse";
@@ -346,6 +346,7 @@ TEST(Transport, MetricsMatchCacheStatsOverBothProtocols) {
       ",\"misses\":" + std::to_string(stats.misses) +
       ",\"insertions\":" + std::to_string(stats.insertions) +
       ",\"evictions\":" + std::to_string(stats.evictions) +
+      ",\"load_quarantined\":" + std::to_string(stats.load_quarantined) +
       ",\"entries\":" + std::to_string(stats.entries) +
       ",\"capacity\":" + std::to_string(stats.capacity) + "}";
   EXPECT_NE(inband.find(cache_doc), std::string::npos) << inband;
