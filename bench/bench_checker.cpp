@@ -327,6 +327,21 @@ void BM_ScheduleModel(benchmark::State& state, const std::string& engine,
   state.SetItemsProcessed(state.iterations() * c.gates);
 }
 
+// Device-scale end-to-end: map + fused verify through the pipeline (the path
+// the scale smoke asserts interactive). Unlike the families above, there is
+// no cached circuit — each iteration pays emission, page faults and the fused
+// audit, exactly as a fresh `map_qft` call does. items = gates produced.
+void BM_MapFused(benchmark::State& state, const std::string& engine, int n) {
+  std::int64_t gates = 0;
+  for (auto _ : state) {
+    const MapResult r = MapperPipeline::global().run(engine, n, MapOptions{});
+    if (!r.check.ok) state.SkipWithError(r.check.error.c_str());
+    gates = r.check.counts.total();
+    benchmark::DoNotOptimize(r.check.depth);
+  }
+  state.SetItemsProcessed(state.iterations() * gates);
+}
+
 const int register_all = [] {
   using Fn = void (*)(benchmark::State&, const std::string&, int);
   const std::pair<const char*, Fn> families[] = {
@@ -336,18 +351,32 @@ const int register_all = [] {
       {"schedule_fn", BM_ScheduleFn},
       {"schedule_model", BM_ScheduleModel},
   };
+  auto add = [](const std::string& name, Fn fn, const std::string& engine,
+                int n) {
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [fn, engine, n](benchmark::State& st) { fn(st, engine, n); })
+        ->Unit(benchmark::kMillisecond);
+  };
   for (const auto& [family, fn] : families) {
     for (const char* engine : {"lnn", "heavy_hex", "sycamore", "lattice"}) {
       for (const int n : {64, 256, 1024, 2048}) {
-        const std::string name = std::string(family) + "/" + engine + "/n" +
-                                 std::to_string(n);
-        const std::string engine_s = engine;
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [fn, engine_s, n](benchmark::State& st) { fn(st, engine_s, n); })
-            ->Unit(benchmark::kMillisecond);
+        add(std::string(family) + "/" + engine + "/n" + std::to_string(n), fn,
+            engine, n);
       }
     }
+  }
+  // Device-scale additions, lattice only: the full-matrix families above
+  // would spend minutes per size there, so past 2048 we track just the
+  // streaming checker, the scheduler and the end-to-end fused path.
+  for (const int n : {4096, 8192}) {
+    add("verify_incremental/lattice/n" + std::to_string(n),
+        BM_VerifyIncremental, "lattice", n);
+    add("schedule_model/lattice/n" + std::to_string(n), BM_ScheduleModel,
+        "lattice", n);
+  }
+  for (const int n : {1024, 4096, 8192}) {
+    add("map_fused/lattice/n" + std::to_string(n), BM_MapFused, "lattice", n);
   }
   return 0;
 }();

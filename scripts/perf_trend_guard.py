@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-trend guard over the BENCH_*.json artifacts.
+
+Compares the current run's Google-Benchmark JSON output against the previous
+CI run's uploaded artifact and fails (exit 1) when a guarded series regressed
+by more than the threshold. Guarded series:
+
+  * BENCH_checker.json  — items_per_second of the verify_* families (checker
+    throughput in gates/s; the tentpole metric of the streaming/fused verify
+    work);
+  * BENCH_service.json  — items_per_second of the socket_* families (served
+    requests/s through the TCP front-end).
+
+A missing baseline directory/file or an empty intersection of benchmark names
+passes with a notice: the guard gates trends between comparable runs, it must
+never block the first run, an expired-artifact run, or a benchmark rename.
+Noise guard: series must regress against the *ratio* threshold; absolute
+items/sec are machine-dependent and never compared across machines here
+because both sides ran on the same runner pool.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GUARDS = [
+    ("BENCH_checker.json", ("verify_",), "verify throughput"),
+    ("BENCH_service.json", ("socket_",), "socket req/s"),
+]
+
+
+def load_series(path, prefixes):
+    """name -> items_per_second for guarded benchmarks in one JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf-guard: cannot read {path}: {e}")
+        return None
+    series = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            continue
+        if not name.startswith(prefixes):
+            continue
+        ips = b.get("items_per_second")
+        if isinstance(ips, (int, float)) and ips > 0:
+            # Repeated entries (multiple repetitions): keep the best, the
+            # stable measure of what the code can do on this machine.
+            series[name] = max(series.get(name, 0.0), ips)
+    return series
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="directory holding this run's BENCH_*.json")
+    ap.add_argument("--baseline", required=True,
+                    help="directory holding the previous run's artifact")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    regressions = []
+    compared = 0
+    for fname, prefixes, label in GUARDS:
+        cur_path = os.path.join(args.current, fname)
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(cur_path):
+            print(f"perf-guard: {fname} not produced by this run — skipping")
+            continue
+        if not os.path.exists(base_path):
+            print(f"perf-guard: no baseline {fname} — first run or expired "
+                  f"artifact, passing")
+            continue
+        cur = load_series(cur_path, prefixes)
+        base = load_series(base_path, prefixes)
+        if cur is None or base is None:
+            continue
+        common = sorted(set(cur) & set(base))
+        if not common:
+            print(f"perf-guard: {fname}: no common benchmarks — renames? "
+                  f"passing")
+            continue
+        for name in common:
+            compared += 1
+            ratio = cur[name] / base[name]
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSED"
+                regressions.append(
+                    f"{label}: {name}: {base[name]:.3e} -> {cur[name]:.3e} "
+                    f"items/s ({(1.0 - ratio) * 100.0:.1f}% slower)")
+            print(f"perf-guard: {name}: {ratio:.3f}x baseline [{status}]")
+
+    if regressions:
+        print(f"\nperf-guard: {len(regressions)} regression(s) beyond "
+              f"{args.threshold * 100.0:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"perf-guard: {compared} series compared, none regressed beyond "
+          f"{args.threshold * 100.0:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,6 @@
 #include "arch/coupling_graph.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
 
 namespace qfto {
@@ -20,8 +19,11 @@ void CouplingGraph::copy_from(const CouplingGraph& other) {
   num_edges_ = other.num_edges_;
   adj_ = other.adj_;
   rows_ = other.rows_;
-  // Snapshot the lazy caches under the source's guards so copying a graph
-  // that another thread is lazily initializing stays race-free.
+  spec_ = other.spec_;
+  // Snapshot the lazy CSR under the source's guard so copying a graph that
+  // another thread is lazily initializing stays race-free. The distance
+  // oracle is NOT copied — it back-references its owning graph — so the copy
+  // rebuilds it lazily on first query.
   {
     std::lock_guard<std::mutex> lock(other.csr_mutex_);
     csr_offset_ = other.csr_offset_;
@@ -29,10 +31,8 @@ void CouplingGraph::copy_from(const CouplingGraph& other) {
     csr_ready_.store(other.csr_ready_.load(std::memory_order_acquire),
                      std::memory_order_release);
   }
-  std::lock_guard<std::mutex> lock(other.dist_mutex_);
-  dist_ = other.dist_;
-  dist_ready_.store(other.dist_ready_.load(std::memory_order_acquire),
-                    std::memory_order_release);
+  oracle_.reset();
+  oracle_ready_.store(false, std::memory_order_release);
 }
 
 CouplingGraph::CouplingGraph(const CouplingGraph& other) { copy_from(other); }
@@ -53,6 +53,7 @@ CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
     num_edges_ = other.num_edges_;
     adj_ = std::move(other.adj_);
     rows_ = std::move(other.rows_);
+    spec_ = std::move(other.spec_);
     {
       std::lock_guard<std::mutex> lock(other.csr_mutex_);
       csr_offset_ = std::move(other.csr_offset_);
@@ -61,11 +62,16 @@ CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
                        std::memory_order_release);
       other.csr_ready_.store(false, std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> lock(other.dist_mutex_);
-    dist_ = std::move(other.dist_);
-    dist_ready_.store(other.dist_ready_.load(std::memory_order_acquire),
-                      std::memory_order_release);
-    other.dist_ready_.store(false, std::memory_order_relaxed);
+    // The moved-from graph's oracle back-references a graph whose adjacency
+    // was just moved away — drop it on both sides; this graph rebuilds
+    // lazily against its own storage.
+    {
+      std::lock_guard<std::mutex> lock(other.oracle_mutex_);
+      other.oracle_.reset();
+      other.oracle_ready_.store(false, std::memory_order_relaxed);
+    }
+    oracle_.reset();
+    oracle_ready_.store(false, std::memory_order_release);
   }
   return *this;
 }
@@ -103,8 +109,11 @@ void CouplingGraph::add_edge(PhysicalQubit a, PhysicalQubit b, LinkType type) {
   rows_[b].push_back(CsrEntry{a, type});
   ++num_edges_;
   // Invalidate the lazy caches (mutation is not concurrent-safe by contract).
-  dist_.clear();
-  dist_ready_.store(false, std::memory_order_release);
+  // A closed-form spec no longer describes the mutated graph, so distances
+  // degrade to exact generic BFS rows.
+  spec_ = DistanceSpec{};
+  oracle_.reset();
+  oracle_ready_.store(false, std::memory_order_release);
   csr_ready_.store(false, std::memory_order_release);
 }
 
@@ -113,44 +122,29 @@ const std::vector<PhysicalQubit>& CouplingGraph::neighbors(
   return adj_[q];
 }
 
-const std::vector<std::vector<std::int32_t>>& CouplingGraph::distance_matrix()
-    const {
+void CouplingGraph::set_distance_spec(DistanceSpec spec) {
+  spec_ = std::move(spec);
+  oracle_.reset();
+  oracle_ready_.store(false, std::memory_order_release);
+}
+
+const DistanceOracle& CouplingGraph::distances() const {
   // Double-checked lazy init: map_qft_batch maps on a shared graph from a
   // thread pool, so first use must not race.
-  if (!dist_ready_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(dist_mutex_);
-    if (!dist_ready_.load(std::memory_order_relaxed)) {
-      dist_.assign(num_qubits_, std::vector<std::int32_t>(num_qubits_, -1));
-      for (PhysicalQubit s = 0; s < num_qubits_; ++s) {
-        auto& d = dist_[s];
-        d[s] = 0;
-        std::queue<PhysicalQubit> bfs;
-        bfs.push(s);
-        while (!bfs.empty()) {
-          const PhysicalQubit u = bfs.front();
-          bfs.pop();
-          for (PhysicalQubit v : adj_[u]) {
-            if (d[v] < 0) {
-              d[v] = d[u] + 1;
-              bfs.push(v);
-            }
-          }
-        }
-      }
-      dist_ready_.store(true, std::memory_order_release);
+  if (!oracle_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(oracle_mutex_);
+    if (!oracle_ready_.load(std::memory_order_relaxed)) {
+      oracle_ = std::make_shared<const DistanceOracle>(*this, spec_);
+      oracle_ready_.store(true, std::memory_order_release);
     }
   }
-  return dist_;
+  return *oracle_;
 }
 
 std::int32_t CouplingGraph::distance(PhysicalQubit a, PhysicalQubit b) const {
-  return distance_matrix()[a][b];
+  return distances().distance(a, b);
 }
 
-bool CouplingGraph::connected() const {
-  if (num_qubits_ == 0) return true;
-  const auto& d = distance_matrix()[0];
-  return std::all_of(d.begin(), d.end(), [](std::int32_t x) { return x >= 0; });
-}
+bool CouplingGraph::connected() const { return distances().connected(); }
 
 }  // namespace qfto

@@ -13,11 +13,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "arch/distance_oracle.hpp"
 #include "common/types.hpp"
 
 namespace qfto {
@@ -39,9 +41,10 @@ class CouplingGraph {
   CouplingGraph() = default;
   CouplingGraph(std::string name, std::int32_t num_qubits);
 
-  // The lazy distance cache carries a mutex/flag guard (see
-  // distance_matrix()), so the copy/move family is user-defined: graph data
-  // is copied, guards are fresh per object.
+  // The lazy CSR cache carries a mutex/flag guard, so the copy/move family
+  // is user-defined: graph data is copied, guards are fresh per object and
+  // the distance oracle is rebuilt lazily (it holds a back-pointer to its
+  // owning graph, so it must never be shared across graph objects).
   CouplingGraph(const CouplingGraph& other);
   CouplingGraph& operator=(const CouplingGraph& other);
   CouplingGraph(CouplingGraph&& other) noexcept;
@@ -91,12 +94,22 @@ class CouplingGraph {
 
   std::int64_t num_edges() const { return num_edges_; }
 
-  /// All-pairs hop distances (unweighted BFS). Computed on first use and
-  /// cached; SABRE's heuristic consumes this. First use is guarded
-  /// (double-checked flag + mutex), so concurrent readers — e.g.
-  /// map_qft_batch workers sharing one target graph — are safe.
-  const std::vector<std::vector<std::int32_t>>& distance_matrix() const;
+  /// Attaches the closed-form distance hint for this topology. Builders call
+  /// it once construction is complete; add_edge resets the spec to kGeneric
+  /// (and drops any built oracle), so a mutated graph silently degrades to
+  /// exact BFS rows rather than serving stale closed forms.
+  void set_distance_spec(DistanceSpec spec);
 
+  const DistanceSpec& distance_spec() const { return spec_; }
+
+  /// On-demand distance oracle — the replacement for the retired O(n²)
+  /// distance_matrix(). Built on first use under a double-checked guard, so
+  /// concurrent readers (e.g. map_qft_batch workers sharing one target
+  /// graph) are safe; the oracle's own row cache is internally synchronized.
+  const DistanceOracle& distances() const;
+
+  /// Hop distance; -1 when unreachable. Convenience over distances() —
+  /// routers that query in bulk should pin oracle rows instead.
   std::int32_t distance(PhysicalQubit a, PhysicalQubit b) const;
 
   /// True if the graph is connected (needed by every mapper).
@@ -131,11 +144,15 @@ class CouplingGraph {
   mutable std::atomic<bool> csr_ready_{false};
   mutable std::mutex csr_mutex_;
 
-  // Lazily computed distance cache, published with release/acquire so that
-  // first use from a thread pool is race-free.
-  mutable std::vector<std::vector<std::int32_t>> dist_;
-  mutable std::atomic<bool> dist_ready_{false};
-  mutable std::mutex dist_mutex_;
+  // Closed-form hint set by the topology builders; kGeneric by default and
+  // after any mutation.
+  DistanceSpec spec_;
+  // Lazily built oracle, published with release/acquire so that first use
+  // from a thread pool is race-free. Never copied or moved between graph
+  // objects (it back-references this graph); copy/move reset it.
+  mutable std::shared_ptr<const DistanceOracle> oracle_;
+  mutable std::atomic<bool> oracle_ready_{false};
+  mutable std::mutex oracle_mutex_;
 };
 
 }  // namespace qfto

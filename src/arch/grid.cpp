@@ -12,6 +12,7 @@ CouplingGraph make_grid(std::int32_t rows, std::int32_t cols) {
       if (r + 1 < rows) g.add_edge(grid_node(r, c, cols), grid_node(r + 1, c, cols));
     }
   }
+  g.set_distance_spec(DistanceSpec::grid(rows, cols));
   return g;
 }
 

@@ -45,6 +45,9 @@ CouplingGraph make_heavy_hex(const HeavyHexLayout& lay) {
   for (std::int32_t j = 0; j < lay.num_dangling(); ++j) {
     g.add_edge(lay.main_node(lay.junctions[j]), lay.dangling_node(j));
   }
+  // main_node(p) == p and dangling_node(g) == main_len + g, exactly the id
+  // scheme the closed form assumes.
+  g.set_distance_spec(DistanceSpec::heavy_hex(lay.main_len, lay.junctions));
   return g;
 }
 

@@ -24,6 +24,8 @@ CouplingGraph make_lattice_surgery_full(std::int32_t m) {
       }
     }
   }
+  // Axial + both diagonal families = king moves: Chebyshev distance.
+  g.set_distance_spec(DistanceSpec::king_grid(m, m));
   return g;
 }
 
@@ -44,6 +46,8 @@ CouplingGraph make_lattice_surgery_rotated(std::int32_t m) {
       }
     }
   }
+  // Axial links only: Manhattan distance.
+  g.set_distance_spec(DistanceSpec::grid(m, m));
   return g;
 }
 

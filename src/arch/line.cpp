@@ -5,6 +5,7 @@ namespace qfto {
 CouplingGraph make_line(std::int32_t n) {
   CouplingGraph g("line-" + std::to_string(n), n);
   for (std::int32_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.set_distance_spec(DistanceSpec::line());
   return g;
 }
 

@@ -6,7 +6,8 @@
 namespace qfto {
 
 MappedCircuit map_qft_on_path(const CouplingGraph& g,
-                              const std::vector<PhysicalQubit>& path) {
+                              const std::vector<PhysicalQubit>& path,
+                              verify::EmitAudit* audit) {
   const std::int32_t n = static_cast<std::int32_t>(path.size());
   require(n >= 1, "map_qft_on_path: empty path");
   for (std::int32_t i = 0; i + 1 < n; ++i) {
@@ -15,8 +16,9 @@ MappedCircuit map_qft_on_path(const CouplingGraph& g,
   }
   QftState state(n);
   // Logical i starts at the i-th node of the path.
-  LayerEmitter em(g, path, state);
-  run_line_qft(em, path);
+  LayerEmitter em(g, path, state, audit);
+  em.reserve_gates(2 * (static_cast<std::int64_t>(n) * (n - 1) / 2 + n));
+  run_line_qft(em, Line(em, path));
   return std::move(em).finish();
 }
 

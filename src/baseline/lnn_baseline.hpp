@@ -7,13 +7,16 @@
 
 #include "arch/coupling_graph.hpp"
 #include "circuit/mapped_circuit.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
 /// Runs the LNN QFT pattern along `path` (consecutive nodes must be coupled
-/// in `g`; the path must visit every logical qubit's node).
+/// in `g`; the path must visit every logical qubit's node). `audit`, when
+/// non-null, engages fused verification (verify::EmitAudit).
 MappedCircuit map_qft_on_path(const CouplingGraph& g,
-                              const std::vector<PhysicalQubit>& path);
+                              const std::vector<PhysicalQubit>& path,
+                              verify::EmitAudit* audit = nullptr);
 
 /// Row-major boustrophedon over the m×m lattice (axial links only — valid in
 /// both the full and the rotated lattice-surgery graphs).

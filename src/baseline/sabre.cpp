@@ -19,6 +19,45 @@ struct SwapCandidate {
   PhysicalQubit b;
 };
 
+/// Physical endpoints of a two-qubit gate, flattened for the scoring loop.
+struct EndpointPair {
+  PhysicalQubit a;
+  PhysicalQubit b;
+};
+
+/// Pass-scoped view over the DistanceOracle: pins row handles on first
+/// touch so the scoring inner loop is a plain array load per query — no
+/// oracle mutex, no closed-form dispatch. Pinned handles survive the
+/// oracle's LRU eviction; the pin set itself is flushed when it would grow
+/// past the oracle's own budget, keeping memory in rows-touched, not n².
+class DistView {
+ public:
+  explicit DistView(const CouplingGraph& g)
+      : oracle_(&g.distances()),
+        rowptr_(static_cast<std::size_t>(g.num_qubits()), nullptr),
+        limit_(std::max<std::size_t>(64, oracle_->row_budget())) {}
+
+  const std::int32_t* row(PhysicalQubit a) {
+    const std::int32_t* r = rowptr_[a];
+    if (r == nullptr) {
+      if (pinned_.size() >= limit_) {
+        pinned_.clear();
+        std::fill(rowptr_.begin(), rowptr_.end(), nullptr);
+      }
+      pinned_.push_back(oracle_->row(a));
+      r = pinned_.back()->data();
+      rowptr_[a] = r;
+    }
+    return r;
+  }
+
+ private:
+  const DistanceOracle* oracle_;
+  std::vector<const std::int32_t*> rowptr_;
+  std::vector<DistanceOracle::RowPtr> pinned_;
+  std::size_t limit_;
+};
+
 // One full routing pass. When `emit` is false only the final mapping is
 // produced (used by the bidirectional initial-mapping refinement).
 struct PassResult {
@@ -32,7 +71,7 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
                       const std::vector<PhysicalQubit>& initial,
                       Xoshiro256ss& rng, const SabreOptions& opts, bool emit) {
   const std::int32_t n = logical.num_qubits();
-  const auto& dist = g.distance_matrix();
+  DistView dist(g);
   MappingTracker map(initial, g.num_qubits());
 
   std::vector<std::int32_t> indeg(dag.size(), 0);
@@ -56,16 +95,14 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
     }
   };
 
-  auto gate_dist = [&](const Gate& gate, PhysicalQubit sa, PhysicalQubit sb) {
-    // Distance of `gate` under the hypothetical swap of nodes sa<->sb.
-    auto pos = [&](LogicalQubit l) {
-      PhysicalQubit p = map.physical_of(l);
-      if (p == sa) return sb;
-      if (p == sb) return sa;
-      return p;
-    };
-    return dist[pos(gate.q0)][pos(gate.q1)];
-  };
+  // Round-scoped scratch, hoisted so the blocked-step loop never allocates
+  // once capacities have warmed up.
+  std::vector<SwapCandidate> cands;
+  std::vector<std::int32_t> extended;
+  std::vector<std::int32_t> queue;
+  std::vector<EndpointPair> front_pairs;
+  std::vector<EndpointPair> ext_pairs;
+  std::vector<std::size_t> best_set;
 
   const std::int64_t swap_cap =
       1000 + 64 * static_cast<std::int64_t>(dag.size()) *
@@ -102,7 +139,7 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
     if (front.empty()) break;
 
     // Blocked: choose a SWAP. Candidates touch a front-layer qubit.
-    std::vector<SwapCandidate> cands;
+    cands.clear();
     for (auto gi : front) {
       const Gate& gate = logical[gi];
       for (LogicalQubit l : {gate.q0, gate.q1}) {
@@ -120,56 +157,73 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
                 cands.end());
 
     // Extended set: the next few two-qubit gates past the front layer.
-    std::vector<std::int32_t> extended;
-    {
-      std::vector<std::int32_t> indeg_copy;
-      std::vector<std::int32_t> queue = front;
-      for (std::size_t head = 0;
-           head < queue.size() &&
-           static_cast<std::int32_t>(extended.size()) < opts.extended_size;
-           ++head) {
-        for (auto s : dag.succ[queue[head]]) {
-          if (logical[s].two_qubit()) extended.push_back(s);
-          queue.push_back(s);
-          if (static_cast<std::int32_t>(extended.size()) >= opts.extended_size)
-            break;
-        }
+    extended.clear();
+    queue = front;
+    for (std::size_t head = 0;
+         head < queue.size() &&
+         static_cast<std::int32_t>(extended.size()) < opts.extended_size;
+         ++head) {
+      for (auto s : dag.succ[queue[head]]) {
+        if (logical[s].two_qubit()) extended.push_back(s);
+        queue.push_back(s);
+        if (static_cast<std::int32_t>(extended.size()) >= opts.extended_size)
+          break;
       }
     }
 
+    // Flatten the gates under consideration to physical endpoint pairs once
+    // per blocked step; the candidate scoring loop then runs over flat
+    // arrays with pinned oracle rows — no tracker lookups, no maps/sets.
+    front_pairs.clear();
+    for (auto gi : front) {
+      const Gate& gate = logical[gi];
+      if (!gate.two_qubit()) continue;
+      front_pairs.push_back(
+          {map.physical_of(gate.q0), map.physical_of(gate.q1)});
+    }
+    ext_pairs.clear();
+    for (auto gi : extended) {
+      const Gate& gate = logical[gi];
+      ext_pairs.push_back(
+          {map.physical_of(gate.q0), map.physical_of(gate.q1)});
+    }
+
     double best = 1e300;
-    std::vector<const SwapCandidate*> best_set;
-    for (const auto& cand : cands) {
+    best_set.clear();
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      const SwapCandidate& cand = cands[ci];
+      const PhysicalQubit sa = cand.a, sb = cand.b;
+      // Position of endpoint p under the hypothetical swap sa<->sb.
+      const auto swapped = [sa, sb](PhysicalQubit p) {
+        return p == sa ? sb : (p == sb ? sa : p);
+      };
       double basic = 0.0;
-      std::int32_t f2 = 0;
-      for (auto gi : front) {
-        const Gate& gate = logical[gi];
-        if (!gate.two_qubit()) continue;
-        basic += gate_dist(gate, cand.a, cand.b);
-        ++f2;
+      for (const EndpointPair& ep : front_pairs) {
+        basic += dist.row(swapped(ep.a))[swapped(ep.b)];
       }
-      if (f2 > 0) basic /= f2;
+      if (!front_pairs.empty()) basic /= static_cast<double>(front_pairs.size());
       double ext = 0.0;
-      if (!extended.empty()) {
-        for (auto gi : extended) ext += gate_dist(logical[gi], cand.a, cand.b);
-        ext /= static_cast<double>(extended.size());
+      if (!ext_pairs.empty()) {
+        for (const EndpointPair& ep : ext_pairs) {
+          ext += dist.row(swapped(ep.a))[swapped(ep.b)];
+        }
+        ext /= static_cast<double>(ext_pairs.size());
       }
-      const LogicalQubit la = map.logical_at(cand.a);
-      const LogicalQubit lb = map.logical_at(cand.b);
+      const LogicalQubit la = map.logical_at(sa);
+      const LogicalQubit lb = map.logical_at(sb);
       const double da = la == kInvalidQubit ? 1.0 : decay[la];
       const double db = lb == kInvalidQubit ? 1.0 : decay[lb];
       const double score =
           std::max(da, db) * (basic + opts.extended_weight * ext);
       if (score < best - 1e-12) {
         best = score;
-        best_set.assign(1, &cand);
+        best_set.assign(1, ci);
       } else if (score <= best + 1e-12) {
-        best_set.push_back(&cand);
+        best_set.push_back(ci);
       }
     }
     require(!best_set.empty(), "sabre: no swap candidates on connected graph");
-    const SwapCandidate& chosen =
-        *best_set[rng.uniform(best_set.size())];
+    const SwapCandidate chosen = cands[best_set[rng.uniform(best_set.size())]];
 
     if (emit) out.circuit.append(Gate::swap(chosen.a, chosen.b));
     const LogicalQubit la = map.logical_at(chosen.a);
@@ -192,7 +246,7 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
 
 Circuit reversed(const Circuit& c) {
   Circuit r(c.num_qubits());
-  for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it) r.append(*it);
+  for (std::size_t i = c.size(); i-- > 0;) r.append(c[i]);
   return r;
 }
 

@@ -1,6 +1,11 @@
 #include "circuit/circuit.hpp"
 
+#include <cstdint>
 #include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "common/prng.hpp"
 
@@ -17,25 +22,78 @@ Circuit::Circuit(std::int32_t num_qubits) : num_qubits_(num_qubits) {
   require(num_qubits >= 0, "Circuit: negative qubit count");
 }
 
-void Circuit::append(const Gate& g) {
-  require(g.q0 >= 0 && g.q0 < num_qubits_, "Circuit::append: q0 out of range");
-  if (g.two_qubit()) {
-    require(g.q1 >= 0 && g.q1 < num_qubits_,
-            "Circuit::append: q1 out of range");
-    require(g.q0 != g.q1, "Circuit::append: two-qubit gate on a single wire");
+Circuit& Circuit::operator=(const Circuit& other) {
+  if (this == &other) return *this;
+  num_qubits_ = other.num_qubits_;
+  size_ = other.size_;
+  capacity_ = other.size_;  // copies are exact-sized, not reservation-sized
+  store_.reset(size_ > 0 ? new Gate[size_] : nullptr);
+  if (size_ > 0) {
+    std::memcpy(store_.get(), other.store_.get(), size_ * sizeof(Gate));
   }
-  gates_.push_back(g);
+  return *this;
+}
+
+Circuit& Circuit::operator=(Circuit&& other) noexcept {
+  num_qubits_ = other.num_qubits_;
+  store_ = std::move(other.store_);
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
+}
+
+void Circuit::grow(std::size_t need) {
+  std::size_t cap = capacity_ == 0 ? 16 : capacity_ * 2;
+  if (cap < need) cap = need;
+  // Gate is trivially default-constructible, so new[] leaves the tail
+  // uninitialized — no zero/fill pass over what can be a multi-GB block.
+  std::unique_ptr<Gate[]> fresh(new Gate[cap]);
+  if (size_ > 0) {
+    std::memcpy(fresh.get(), store_.get(), size_ * sizeof(Gate));
+  }
+  store_ = std::move(fresh);
+  capacity_ = cap;
+}
+
+void Circuit::reserve(std::size_t gate_count) {
+  if (gate_count <= capacity_) return;
+  grow(gate_count);
+#if defined(__linux__) && defined(MADV_POPULATE_WRITE)
+  // Batch the soft page faults of a device-scale reservation up front: one
+  // kernel pass over the fresh mapping is measurably cheaper than taking the
+  // same faults interleaved with the emit loop. Deliberately NOT
+  // MADV_HUGEPAGE: with `defrag=madvise` (the common default) huge-page
+  // faults run synchronous compaction and can be several times slower per
+  // byte than plain 4 KiB population. Best-effort: errors are ignored (the
+  // advice flag is 5.14+; pre-populate is an optimization, not a contract).
+  constexpr std::uintptr_t kPage = 4096;
+  const std::size_t bytes = capacity_ * sizeof(Gate);
+  if (bytes >= (std::size_t{16} << 20)) {
+    const auto base = reinterpret_cast<std::uintptr_t>(store_.get());
+    const std::uintptr_t lo = (base + kPage - 1) & ~(kPage - 1);
+    const std::uintptr_t hi = (base + bytes) & ~(kPage - 1);
+    if (hi > lo) {
+      madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_POPULATE_WRITE);
+    }
+  }
+#endif
 }
 
 void Circuit::extend(const Circuit& other) {
   require(other.num_qubits_ == num_qubits_,
           "Circuit::extend: qubit count mismatch");
-  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+  if (other.size_ == 0) return;
+  if (size_ + other.size_ > capacity_) grow(size_ + other.size_);
+  std::memcpy(store_.get() + size_, other.store_.get(),
+              other.size_ * sizeof(Gate));
+  size_ += other.size_;
 }
 
 std::uint64_t Circuit::fingerprint() const {
   std::uint64_t h = mix64(0x51ab5u ^ static_cast<std::uint64_t>(num_qubits_));
-  for (const auto& g : gates_) {
+  for (const auto& g : *this) {
     std::uint64_t angle_bits = 0;
     std::memcpy(&angle_bits, &g.angle, sizeof(angle_bits));
     h = mix64(h ^ static_cast<std::uint64_t>(g.kind));
@@ -49,7 +107,7 @@ std::uint64_t Circuit::fingerprint() const {
 
 std::string Circuit::to_string() const {
   std::string out;
-  for (const auto& g : gates_) {
+  for (const auto& g : *this) {
     out += g.to_string();
     out += '\n';
   }

@@ -17,25 +17,6 @@ std::string gate_name(GateKind kind) {
   return "?";
 }
 
-Gate Gate::h(std::int32_t q) { return Gate{GateKind::kH, q, kInvalidQubit, 0.0}; }
-Gate Gate::x(std::int32_t q) { return Gate{GateKind::kX, q, kInvalidQubit, 0.0}; }
-
-Gate Gate::rz(std::int32_t q, double angle) {
-  return Gate{GateKind::kRz, q, kInvalidQubit, angle};
-}
-
-Gate Gate::cphase(std::int32_t a, std::int32_t b, double angle) {
-  return Gate{GateKind::kCPhase, a, b, angle};
-}
-
-Gate Gate::swap(std::int32_t a, std::int32_t b) {
-  return Gate{GateKind::kSwap, a, b, 0.0};
-}
-
-Gate Gate::cnot(std::int32_t control, std::int32_t target) {
-  return Gate{GateKind::kCnot, control, target, 0.0};
-}
-
 std::string Gate::to_string() const {
   char buf[96];
   if (two_qubit()) {

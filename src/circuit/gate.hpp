@@ -37,18 +37,36 @@ std::string gate_name(GateKind kind);
 /// For CPHASE we keep the (control, target) the producer supplied even though
 /// the unitary is symmetric, so checkers can report the paper's G(Qi, Qj)
 /// orientation.
+///
+/// Deliberately no default member initializers: every Gate is built through
+/// the factories below (which set all four fields), and keeping the type
+/// trivially default-constructible lets Circuit allocate a device-scale gate
+/// store (GBs at QFT-8192) without an up-front zero/fill pass over it.
 struct Gate {
   GateKind kind;
-  std::int32_t q0 = kInvalidQubit;
-  std::int32_t q1 = kInvalidQubit;
-  double angle = 0.0;
+  std::int32_t q0;
+  std::int32_t q1;
+  double angle;
 
-  static Gate h(std::int32_t q);
-  static Gate x(std::int32_t q);
-  static Gate rz(std::int32_t q, double angle);
-  static Gate cphase(std::int32_t a, std::int32_t b, double angle);
-  static Gate swap(std::int32_t a, std::int32_t b);
-  static Gate cnot(std::int32_t control, std::int32_t target);
+  // Inline: emitters construct tens of millions of gates on the hot path.
+  static Gate h(std::int32_t q) {
+    return Gate{GateKind::kH, q, kInvalidQubit, 0.0};
+  }
+  static Gate x(std::int32_t q) {
+    return Gate{GateKind::kX, q, kInvalidQubit, 0.0};
+  }
+  static Gate rz(std::int32_t q, double angle) {
+    return Gate{GateKind::kRz, q, kInvalidQubit, angle};
+  }
+  static Gate cphase(std::int32_t a, std::int32_t b, double angle) {
+    return Gate{GateKind::kCPhase, a, b, angle};
+  }
+  static Gate swap(std::int32_t a, std::int32_t b) {
+    return Gate{GateKind::kSwap, a, b, 0.0};
+  }
+  static Gate cnot(std::int32_t control, std::int32_t target) {
+    return Gate{GateKind::kCnot, control, target, 0.0};
+  }
 
   bool two_qubit() const { return is_two_qubit(kind); }
 

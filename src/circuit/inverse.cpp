@@ -4,8 +4,8 @@ namespace qfto {
 
 Circuit inverse_circuit(const Circuit& c) {
   Circuit inv(c.num_qubits());
-  for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it) {
-    Gate g = *it;
+  for (std::size_t i = c.size(); i-- > 0;) {
+    Gate g = c[i];
     switch (g.kind) {
       case GateKind::kRz:
       case GateKind::kCPhase:

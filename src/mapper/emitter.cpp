@@ -6,66 +6,49 @@ namespace qfto {
 
 LayerEmitter::LayerEmitter(const CouplingGraph& graph,
                            std::vector<PhysicalQubit> initial_mapping,
-                           QftState& state)
+                           QftState& state, verify::EmitAudit* audit)
     : graph_(graph),
       circuit_(graph.num_qubits()),
       initial_(std::move(initial_mapping)),
       tracker_(initial_, graph.num_qubits()),
       state_(state),
-      busy_layer_(graph.num_qubits(), -1) {
+      busy_layer_(graph.num_qubits(), -1),
+      audit_(audit) {
   require(static_cast<std::int32_t>(initial_.size()) == state.n(),
           "LayerEmitter: mapping size must equal QftState size");
-}
-
-void LayerEmitter::next_layer() { ++layer_; }
-
-bool LayerEmitter::busy(PhysicalQubit p) const {
-  return busy_layer_[p] == layer_;
-}
-
-void LayerEmitter::mark_busy(PhysicalQubit p) { busy_layer_[p] = layer_; }
-
-bool LayerEmitter::try_cphase(PhysicalQubit a, PhysicalQubit b) {
-  if (busy(a) || busy(b)) return false;
-  require(graph_.adjacent(a, b), "try_cphase: nodes not coupled");
-  const LogicalQubit la = tracker_.logical_at(a);
-  const LogicalQubit lb = tracker_.logical_at(b);
-  if (la == kInvalidQubit || lb == kInvalidQubit) return false;
-  if (!state_.can_pair(la, lb)) return false;
-  const auto lo = std::min(la, lb), hi = std::max(la, lb);
-  // The paper writes G(target, control) with the larger index as control; the
-  // unitary is symmetric, so record (lo, hi) canonically on physical wires.
-  circuit_.append(Gate::cphase(a, b, qft_angle(lo, hi)));
-  state_.mark_pair(la, lb);
-  mark_busy(a);
-  mark_busy(b);
-  ++gates_emitted_;
-  return true;
-}
-
-bool LayerEmitter::try_h(PhysicalQubit p) {
-  if (busy(p)) return false;
-  const LogicalQubit l = tracker_.logical_at(p);
-  if (l == kInvalidQubit || !state_.can_self(l)) return false;
-  circuit_.append(Gate::h(p));
-  state_.mark_self(l);
-  mark_busy(p);
-  ++gates_emitted_;
-  return true;
-}
-
-bool LayerEmitter::try_swap(PhysicalQubit a, PhysicalQubit b) {
-  if (busy(a) || busy(b)) return false;
-  require(graph_.adjacent(a, b), "try_swap: nodes not coupled");
-  circuit_.append(Gate::swap(a, b));
-  tracker_.apply_swap(a, b);
-  mark_busy(a);
-  mark_busy(b);
-  ++gates_emitted_;
-  return true;
+  // CPHASE angles depend only on the logical gap; resolve them once.
+  const std::int32_t n = state.n();
+  angle_by_gap_.resize(static_cast<std::size_t>(n > 0 ? n : 1), 0.0);
+  for (std::int32_t gap = 1; gap < n; ++gap) {
+    angle_by_gap_[static_cast<std::size_t>(gap)] = qft_angle(0, gap);
+  }
+  if (audit_ != nullptr) {
+    audit_ready_.assign(static_cast<std::size_t>(graph.num_qubits()), 0);
+  }
 }
 
 MappedCircuit LayerEmitter::finish() && {
+  if (audit_ != nullptr) {
+    audit_->engaged = true;
+    QftCheckResult& r = audit_->result;
+    if (!state_.all_done()) {
+      // Matches the totals phase of IncrementalQftChecker::finish(): the
+      // emitter's windows make partial progress the only possible defect.
+      r.ok = false;
+      r.error = state_.selfs_remaining() != 0
+                    ? "missing H gates: got " +
+                          std::to_string(state_.n() - state_.selfs_remaining()) +
+                          " of " + std::to_string(state_.n())
+                    : "missing CPHASE: " +
+                          std::to_string(state_.pairs_remaining()) +
+                          " pair(s) unfinished";
+    } else {
+      r.ok = true;
+      r.error.clear();
+      r.depth = audit_depth_;
+      r.counts = audit_counts_;
+    }
+  }
   MappedCircuit mc;
   mc.circuit = std::move(circuit_);
   mc.initial = std::move(initial_);

@@ -6,59 +6,185 @@
 //   * CPHASE only when the relaxed-ordering window (QftState) allows it.
 // It simultaneously tracks the logical<->physical mapping through SWAPs and
 // stamps the correct QFT angle on every CPHASE from the logical indices.
+//
+// Fused verification: constructed with a verify::EmitAudit, the emitter also
+// maintains the latency-weighted ASAP depth and gate counts gate-by-gate —
+// the same arithmetic, in the same gate order, as IncrementalQftChecker —
+// and renders the verdict in finish(). The construction-time rules above
+// discharge the checker's per-gate obligations (adjacency, exactly-once
+// pairs/Hs in the relaxed window, tracked final mapping), so the pipeline
+// can skip its separate post-hoc verification stream entirely: the audited
+// QftCheckResult is bit-identical to check_qft_mapping on the same circuit.
+//
+// The try_* methods are header-inline deliberately: they are the per-gate
+// hot path (tens of millions of calls at device scale), and cross-TU calls
+// cost more than the work they do.
 #pragma once
 
 #include "arch/coupling_graph.hpp"
 #include "circuit/mapped_circuit.hpp"
 #include "mapper/qft_state.hpp"
 #include "verify/mapping_tracker.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
 class LayerEmitter {
  public:
+  /// `audit` (optional) arms fused verification; it must outlive the
+  /// emitter, and its latency model is consulted once per emitted gate.
   LayerEmitter(const CouplingGraph& graph,
-               std::vector<PhysicalQubit> initial_mapping, QftState& state);
+               std::vector<PhysicalQubit> initial_mapping, QftState& state,
+               verify::EmitAudit* audit = nullptr);
 
   const CouplingGraph& graph() const { return graph_; }
   const MappingTracker& tracker() const { return tracker_; }
   QftState& state() { return state_; }
 
-  LogicalQubit occupant(PhysicalQubit p) const { return tracker_.logical_at(p); }
+  LogicalQubit occupant(PhysicalQubit p) const {
+    return tracker_.logical_at(p);
+  }
+
+  /// A pre-resolved coupling edge: adjacency was proven (and the link type
+  /// captured for the audit's latency charge) by resolve_edge, so the
+  /// per-gate try_* fast paths skip the CSR probe. Handles stay valid as
+  /// long as the graph does — mappers hold it const for the whole emission.
+  struct EdgeHandle {
+    PhysicalQubit a;
+    PhysicalQubit b;
+    LinkType link;
+  };
+
+  /// Probes the coupling graph once; throws if (a, b) is not an edge.
+  /// Mappers whose physical structure is fixed (slot lines, cross links)
+  /// resolve each edge once up front instead of per emitted gate.
+  EdgeHandle resolve_edge(PhysicalQubit a, PhysicalQubit b) const {
+    const auto link = graph_.link_type(a, b);
+    require(link.has_value(), "resolve_edge: nodes not coupled");
+    return EdgeHandle{a, b, *link};
+  }
+
+  /// Pre-sizes the gate store (growth reallocation of a multi-GB gate vector
+  /// dominated device-scale emission). Mappers with a swap-count estimate
+  /// call it once up front.
+  void reserve_gates(std::int64_t gate_count) {
+    if (gate_count > 0) {
+      circuit_.reserve(static_cast<std::size_t>(gate_count));
+    }
+  }
 
   /// Closes the current layer; subsequent gates start a new parallel layer.
-  void next_layer();
+  void next_layer() { ++layer_; }
 
-  bool busy(PhysicalQubit p) const;
+  bool busy(PhysicalQubit p) const { return busy_layer_[p] == layer_; }
 
-  /// Emits CPHASE between the occupants of a and b if the window allows and
-  /// both nodes are idle this layer. Returns true if emitted.
-  bool try_cphase(PhysicalQubit a, PhysicalQubit b);
+  /// Emits CPHASE between the occupants of the edge's endpoints if the
+  /// window allows and both nodes are idle this layer. Returns true if
+  /// emitted. The handle variant is the hot path: adjacency and link type
+  /// were resolved once, so nothing per-gate touches the CSR.
+  bool try_cphase(const EdgeHandle& e) {
+    const PhysicalQubit a = e.a, b = e.b;
+    if (busy(a) || busy(b)) return false;
+    const LogicalQubit la = tracker_.logical_at(a);
+    const LogicalQubit lb = tracker_.logical_at(b);
+    if (la == kInvalidQubit || lb == kInvalidQubit) return false;
+    if (!state_.can_pair(la, lb)) return false;
+    const auto lo = std::min(la, lb), hi = std::max(la, lb);
+    // The paper writes G(target, control) with the larger index as control;
+    // the unitary is symmetric, so record (lo, hi) canonically on physical
+    // wires. The angle depends only on the gap; the table keeps qft_angle's
+    // libm scaling out of the per-gate path.
+    circuit_.append(
+        Gate::cphase(a, b, angle_by_gap_[static_cast<std::size_t>(hi - lo)]));
+    state_.mark_pair(la, lb);
+    mark_busy(a);
+    mark_busy(b);
+    ++gates_emitted_;
+    if (audit_ != nullptr) {
+      audit_step(GateKind::kCPhase, a, b, e.link);
+      ++audit_counts_.cphase;
+    }
+    return true;
+  }
+
+  bool try_cphase(PhysicalQubit a, PhysicalQubit b) {
+    return try_cphase(resolve_edge(a, b));
+  }
 
   /// Emits H on the occupant of p if enabled and idle. Returns true if so.
-  bool try_h(PhysicalQubit p);
+  bool try_h(PhysicalQubit p) {
+    if (busy(p)) return false;
+    const LogicalQubit l = tracker_.logical_at(p);
+    if (l == kInvalidQubit || !state_.can_self(l)) return false;
+    circuit_.append(Gate::h(p));
+    state_.mark_self(l);
+    mark_busy(p);
+    ++gates_emitted_;
+    if (audit_ != nullptr) {
+      audit_step(GateKind::kH, p, kInvalidQubit, LinkType::kStandard);
+      ++audit_counts_.h;
+    }
+    return true;
+  }
 
-  /// Emits SWAP(a,b) if both idle (adjacency always enforced).
-  bool try_swap(PhysicalQubit a, PhysicalQubit b);
+  /// Emits SWAP on the edge if both endpoints are idle (adjacency was
+  /// enforced at resolve time).
+  bool try_swap(const EdgeHandle& e) {
+    const PhysicalQubit a = e.a, b = e.b;
+    if (busy(a) || busy(b)) return false;
+    circuit_.append(Gate::swap(a, b));
+    tracker_.apply_swap(a, b);
+    mark_busy(a);
+    mark_busy(b);
+    ++gates_emitted_;
+    if (audit_ != nullptr) {
+      audit_step(GateKind::kSwap, a, b, e.link);
+      ++audit_counts_.swap;
+    }
+    return true;
+  }
+
+  bool try_swap(PhysicalQubit a, PhysicalQubit b) {
+    return try_swap(resolve_edge(a, b));
+  }
 
   /// Total gates emitted (stall detection) and per-kind tallies.
   std::int64_t gates_emitted() const { return gates_emitted_; }
   std::int64_t layer_index() const { return layer_; }
 
-  /// Finalizes into a MappedCircuit (emitter unusable afterwards).
+  /// Finalizes into a MappedCircuit (emitter unusable afterwards). With an
+  /// audit armed, also renders the fused verification verdict.
   MappedCircuit finish() &&;
 
  private:
+  void mark_busy(PhysicalQubit p) { busy_layer_[p] = layer_; }
+
+  /// Same ASAP recurrence, in the same gate order, as the streaming checker
+  /// — the audited depth is bit-identical to post-hoc verification.
+  void audit_step(GateKind kind, PhysicalQubit a, PhysicalQubit b,
+                  LinkType link) {
+    Cycle t = audit_ready_[a];
+    if (b != kInvalidQubit) t = std::max(t, audit_ready_[b]);
+    const Cycle fin = t + audit_->model.cycles_on_link(kind, link);
+    audit_ready_[a] = fin;
+    if (b != kInvalidQubit) audit_ready_[b] = fin;
+    if (fin > audit_depth_) audit_depth_ = fin;
+  }
+
   const CouplingGraph& graph_;
   Circuit circuit_;
   std::vector<PhysicalQubit> initial_;
   MappingTracker tracker_;
   QftState& state_;
+  std::vector<double> angle_by_gap_;      // qft_angle(0, gap)
   std::vector<std::int64_t> busy_layer_;  // last layer index that used node p
   std::int64_t layer_ = 0;
   std::int64_t gates_emitted_ = 0;
 
-  void mark_busy(PhysicalQubit p);
+  verify::EmitAudit* audit_ = nullptr;
+  std::vector<Cycle> audit_ready_;  // fused ASAP state, one per wire
+  Cycle audit_depth_ = 0;
+  GateCounts audit_counts_;
 };
 
 }  // namespace qfto

@@ -7,18 +7,32 @@
 
 namespace qfto {
 
-MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay) {
+MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay,
+                                verify::EmitAudit* audit) {
   const std::int32_t n = lay.num_qubits;
   require(n >= 1, "map_qft_heavy_hex: empty layout");
   const CouplingGraph g = make_heavy_hex(lay);
   QftState state(n);
-  LayerEmitter em(g, heavy_hex_initial_mapping(lay), state);
+  LayerEmitter em(g, heavy_hex_initial_mapping(lay), state, audit);
+  em.reserve_gates(2 * (static_cast<std::int64_t>(n) * (n - 1) / 2 + n));
 
   const std::int32_t num_dangle = lay.num_dangling();
   std::vector<std::uint8_t> parked(num_dangle, 0);
 
-  std::vector<PhysicalQubit> main_line(lay.main_len);
-  for (std::int32_t p = 0; p < lay.main_len; ++p) main_line[p] = lay.main_node(p);
+  std::vector<PhysicalQubit> main_nodes(lay.main_len);
+  for (std::int32_t p = 0; p < lay.main_len; ++p) {
+    main_nodes[p] = lay.main_node(p);
+  }
+  const Line main_line(em, std::move(main_nodes));
+
+  // Junction <-> dangling edges, resolved once (used every round for both
+  // the interaction layer and the parking swaps).
+  std::vector<LayerEmitter::EdgeHandle> junction_edge;
+  junction_edge.reserve(static_cast<std::size_t>(num_dangle));
+  for (std::int32_t j = 0; j < num_dangle; ++j) {
+    junction_edge.push_back(em.resolve_edge(lay.main_node(lay.junctions[j]),
+                                            lay.dangling_node(j)));
+  }
 
   // Veto for movement: a qubit waiting to park must not drift past its
   // junction, and nothing may move through an in-flight parking node.
@@ -41,7 +55,7 @@ MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay) {
     // prioritize CPHASEs with dangling qubits), then the main line, then H.
     em.next_layer();
     for (std::int32_t j = 0; j < num_dangle; ++j) {
-      em.try_cphase(lay.main_node(lay.junctions[j]), lay.dangling_node(j));
+      em.try_cphase(junction_edge[j]);
     }
     line_interaction_layer(em, main_line);
     for (std::int32_t j = 0; j < num_dangle; ++j) {
@@ -53,13 +67,12 @@ MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay) {
     em.next_layer();
     for (std::int32_t j = 0; j < num_dangle; ++j) {
       if (parked[j]) continue;
-      const PhysicalQubit junction = lay.main_node(lay.junctions[j]);
-      const PhysicalQubit dangle = lay.dangling_node(j);
-      const LogicalQubit on_main = em.occupant(junction);
-      const LogicalQubit on_dangle = em.occupant(dangle);
+      const LayerEmitter::EdgeHandle& e = junction_edge[j];
+      const LogicalQubit on_main = em.occupant(e.a);
+      const LogicalQubit on_dangle = em.occupant(e.b);
       if (on_main == static_cast<LogicalQubit>(j) &&
           state.pair_done(on_main, on_dangle)) {
-        if (em.try_swap(junction, dangle)) parked[j] = 1;
+        if (em.try_swap(e)) parked[j] = 1;
       }
     }
     line_movement_layer(em, main_line, /*ascending=*/true, frozen);
@@ -78,14 +91,19 @@ MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay) {
   return std::move(em).finish();
 }
 
-MappedCircuit map_qft_heavy_hex(std::int32_t n) {
-  return map_qft_heavy_hex(heavy_hex_layout(n));
+MappedCircuit map_qft_heavy_hex(std::int32_t n, verify::EmitAudit* audit) {
+  return map_qft_heavy_hex(heavy_hex_layout(n), audit);
 }
 
-MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev) {
+MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev,
+                                       verify::EmitAudit* audit) {
   const HeavyHexReduction red = simplify_heavy_hex(dev);
   const HeavyHexLayout canon = red.canonical();
-  const MappedCircuit canonical = map_qft_heavy_hex(canon);
+  // The audit rides the canonical run: the relabeling below is a bijection
+  // onto device nodes that preserves gate order, durations (links keep their
+  // kinds) and the logical assignment, so depth/counts and the verdict are
+  // unchanged by it.
+  const MappedCircuit canonical = map_qft_heavy_hex(canon, audit);
 
   // Canonical physical id -> device node.
   std::vector<PhysicalQubit> relabel(canon.num_qubits);
@@ -99,6 +117,7 @@ MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev) {
 
   MappedCircuit out;
   out.circuit = Circuit(dev.graph.num_qubits());
+  out.circuit.reserve(canonical.circuit.size());
   for (const Gate& g : canonical.circuit) {
     Gate hw = g;
     hw.q0 = relabel[g.q0];

@@ -17,18 +17,25 @@
 
 #include "arch/heavy_hex.hpp"
 #include "circuit/mapped_circuit.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
-MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay);
+/// `audit`, when non-null, engages fused verification (verify::EmitAudit).
+MappedCircuit map_qft_heavy_hex(const HeavyHexLayout& lay,
+                                verify::EmitAudit* audit = nullptr);
 
 /// Paper configuration (N multiple of 5).
-MappedCircuit map_qft_heavy_hex(std::int32_t n);
+MappedCircuit map_qft_heavy_hex(std::int32_t n,
+                                verify::EmitAudit* audit = nullptr);
 
 /// End-to-end path for a *full* heavy-hex device (Appendix 1): reduce the
 /// device to a main line with dangling points, run the canonical mapper, and
 /// relabel the result back onto the device's physical nodes. The returned
 /// circuit is valid on dev.graph (the deleted links are simply never used).
-MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev);
+/// The audit transfers through the relabeling: depth and counts are
+/// relabel-invariant, so the canonical run's verdict holds on the device.
+MappedCircuit map_qft_heavy_hex_device(const HeavyHexDevice& dev,
+                                       verify::EmitAudit* audit = nullptr);
 
 }  // namespace qfto

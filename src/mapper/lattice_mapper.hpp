@@ -10,6 +10,7 @@
 #pragma once
 
 #include "circuit/mapped_circuit.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
@@ -26,15 +27,18 @@ struct LatticeMapperOptions {
   bool strict_ie = false;
 };
 
-/// m >= 2; N = m*m, on the rotated lattice-surgery graph.
+/// m >= 2; N = m*m, on the rotated lattice-surgery graph. `audit`, when
+/// non-null, engages fused verification (verify::EmitAudit).
 MappedCircuit map_qft_lattice(std::int32_t m,
-                              const LatticeMapperOptions& opts = {});
+                              const LatticeMapperOptions& opts = {},
+                              verify::EmitAudit* audit = nullptr);
 
 /// Appendix 7's plain 2D N-by-N grid backend (axial links, uniform latency):
 /// the same row-unit scheme on `make_grid(m, m)`. The paper notes "2xN grid
 /// architecture does not exist in modern architectures" — this target exists
 /// for the synthesis study and as a clean comparison point.
 MappedCircuit map_qft_grid2d(std::int32_t m,
-                             const LatticeMapperOptions& opts = {});
+                             const LatticeMapperOptions& opts = {},
+                             verify::EmitAudit* audit = nullptr);
 
 }  // namespace qfto

@@ -12,20 +12,18 @@ LogicalQubit occ(const LayerEmitter& em, PhysicalQubit p) {
 
 }  // namespace
 
-std::int32_t line_interaction_layer(LayerEmitter& em,
-                                    const std::vector<PhysicalQubit>& line) {
+std::int32_t line_interaction_layer(LayerEmitter& em, const Line& line) {
   std::int32_t emitted = 0;
   for (std::size_t i = 0; i + 1 < line.size(); ++i) {
-    if (em.try_cphase(line[i], line[i + 1])) ++emitted;
+    if (em.try_cphase(line.edge(i))) ++emitted;
   }
-  for (PhysicalQubit p : line) {
+  for (PhysicalQubit p : line.nodes()) {
     if (em.try_h(p)) ++emitted;
   }
   return emitted;
 }
 
-std::int32_t line_movement_layer(LayerEmitter& em,
-                                 const std::vector<PhysicalQubit>& line,
+std::int32_t line_movement_layer(LayerEmitter& em, const Line& line,
                                  bool ascending, const NodeVeto& frozen) {
   std::int32_t emitted = 0;
   for (std::size_t i = 0; i + 1 < line.size(); ++i) {
@@ -35,14 +33,13 @@ std::int32_t line_movement_layer(LayerEmitter& em,
     if (a == kInvalidQubit || b == kInvalidQubit) continue;
     const bool uncrossed = ascending ? (a < b) : (a > b);
     if (uncrossed && em.state().pair_done(a, b)) {
-      if (em.try_swap(pa, pb)) ++emitted;
+      if (em.try_swap(line.edge(i))) ++emitted;
     }
   }
   return emitted;
 }
 
-bool line_monotone(const LayerEmitter& em,
-                   const std::vector<PhysicalQubit>& line, bool ascending) {
+bool line_monotone(const LayerEmitter& em, const Line& line, bool ascending) {
   for (std::size_t i = 0; i + 1 < line.size(); ++i) {
     const LogicalQubit a = occ(em, line[i]), b = occ(em, line[i + 1]);
     if (ascending ? (a > b) : (a < b)) return false;
@@ -50,20 +47,19 @@ bool line_monotone(const LayerEmitter& em,
   return true;
 }
 
-void line_presort_ascending(LayerEmitter& em,
-                            const std::vector<PhysicalQubit>& line) {
+void line_presort_ascending(LayerEmitter& em, const Line& line) {
   while (!line_monotone(em, line, /*ascending=*/true)) {
     em.next_layer();
     for (std::size_t i = 0; i + 1 < line.size(); ++i) {
       const LogicalQubit a = occ(em, line[i]), b = occ(em, line[i + 1]);
       if (a != kInvalidQubit && b != kInvalidQubit && a > b) {
-        em.try_swap(line[i], line[i + 1]);
+        em.try_swap(line.edge(i));
       }
     }
   }
 }
 
-void run_line_qft(LayerEmitter& em, const std::vector<PhysicalQubit>& line) {
+void run_line_qft(LayerEmitter& em, const Line& line) {
   if (line.empty()) return;
   const bool asc_ok = line_monotone(em, line, true);
   const bool desc_ok = line_monotone(em, line, false);

@@ -11,6 +11,11 @@
 // which the unit-based Sycamore / lattice-surgery mappers need after unit
 // moves. Every emission goes through LayerEmitter, so hardware compliance is
 // enforced while the circuit is built.
+//
+// Engines operate on a Line: the physical node list plus its adjacent-edge
+// handles, resolved against the coupling graph once at construction. The
+// per-layer loops run tens of millions of try_* calls at device scale, and
+// pre-resolving moves the CSR adjacency probe out of every one of them.
 #pragma once
 
 #include <functional>
@@ -24,34 +29,58 @@ namespace qfto {
 /// returns true (heavy-hex freezes a qubit that is about to park).
 using NodeVeto = std::function<bool(PhysicalQubit)>;
 
-/// One interaction layer over `line` (physically adjacent consecutive nodes):
-/// CPHASEs left-to-right, then H on idle enabled occupants.
-/// Returns the number of gates emitted. Does not advance the layer.
-std::int32_t line_interaction_layer(LayerEmitter& em,
-                                    const std::vector<PhysicalQubit>& line);
+/// A physical line (consecutive nodes coupled pairwise) with each adjacent
+/// edge pre-resolved. Construction validates every (i, i+1) adjacency, so a
+/// Line is proof the path exists in the graph.
+class Line {
+ public:
+  Line() = default;
+  Line(const LayerEmitter& em, std::vector<PhysicalQubit> nodes)
+      : nodes_(std::move(nodes)) {
+    if (!nodes_.empty()) edges_.reserve(nodes_.size() - 1);
+    for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+      edges_.push_back(em.resolve_edge(nodes_[i], nodes_[i + 1]));
+    }
+  }
+
+  const std::vector<PhysicalQubit>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  PhysicalQubit operator[](std::size_t i) const { return nodes_[i]; }
+  /// Edge joining nodes i and i+1.
+  const LayerEmitter::EdgeHandle& edge(std::size_t i) const {
+    return edges_[i];
+  }
+
+ private:
+  std::vector<PhysicalQubit> nodes_;
+  std::vector<LayerEmitter::EdgeHandle> edges_;
+};
+
+/// One interaction layer over `line`: CPHASEs left-to-right, then H on idle
+/// enabled occupants. Returns the number of gates emitted. Does not advance
+/// the layer.
+std::int32_t line_interaction_layer(LayerEmitter& em, const Line& line);
 
 /// One movement layer: SWAP every adjacent pair (left a, right b) with
 /// pair done and still uncrossed (ascending: a<b must end b..a; descending
 /// symmetric). Returns number of SWAPs.
-std::int32_t line_movement_layer(LayerEmitter& em,
-                                 const std::vector<PhysicalQubit>& line,
+std::int32_t line_movement_layer(LayerEmitter& em, const Line& line,
                                  bool ascending,
                                  const NodeVeto& frozen = nullptr);
 
 /// True if occupants of `line` are monotone (asc or desc as requested).
-bool line_monotone(const LayerEmitter& em,
-                   const std::vector<PhysicalQubit>& line, bool ascending);
+bool line_monotone(const LayerEmitter& em, const Line& line, bool ascending);
 
 /// Pure-SWAP odd-even sort of the occupants into ascending order. Safe: any
 /// pair it crosses without interacting re-meets during the subsequent
 /// reversal. Used to renormalize a unit after inter-unit traffic.
-void line_presort_ascending(LayerEmitter& em,
-                            const std::vector<PhysicalQubit>& line);
+void line_presort_ascending(LayerEmitter& em, const Line& line);
 
 /// Full QFT-IA on this line: presort if non-monotone, then run interaction /
 /// movement rounds until every occupant pair has interacted and every
 /// occupant has its H. Throws on stall (cannot happen for monotone inputs;
 /// the guard protects against future misuse).
-void run_line_qft(LayerEmitter& em, const std::vector<PhysicalQubit>& line);
+void run_line_qft(LayerEmitter& em, const Line& line);
 
 }  // namespace qfto

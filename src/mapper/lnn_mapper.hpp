@@ -4,9 +4,13 @@
 #pragma once
 
 #include "circuit/mapped_circuit.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
-MappedCircuit map_qft_lnn(std::int32_t n);
+/// `audit`, when non-null, engages fused verification: the emitter fills it
+/// with the checker-identical verdict/depth/counts as it emits (see
+/// verify::EmitAudit). Pass the EmitAudit's model before calling.
+MappedCircuit map_qft_lnn(std::int32_t n, verify::EmitAudit* audit = nullptr);
 
 }  // namespace qfto

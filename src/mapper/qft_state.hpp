@@ -7,8 +7,15 @@
 //   self(a): runs after every pair {k,a} with k < a.
 // This class answers "may X run now?" and tracks completion; the same code
 // drives both qubit-level mappers and the unit-level divide-and-conquer.
+//
+// Header-only on purpose: can_pair/mark_pair sit inside every emitter's
+// per-gate loop, and the pair set is a packed upper-triangular bitset —
+// n(n-1)/2 bits (~4 MiB at n ≈ 8k) instead of the n² bytes (~68 MB) the
+// byte-matrix version needed, so the whole working set stays cache-resident
+// at device scale.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,32 +25,83 @@ namespace qfto {
 
 class QftState {
  public:
-  explicit QftState(std::int32_t n);
+  explicit QftState(std::int32_t n)
+      : n_(n),
+        self_done_(static_cast<std::size_t>(n), 0),
+        pair_done_((pair_count(n) + 63) / 64, 0),
+        row_base_(static_cast<std::size_t>(n), 0),
+        pending_smaller_(static_cast<std::size_t>(n), 0),
+        pairs_remaining_(pair_count(n)),
+        selfs_remaining_(n) {
+    require(n >= 0, "QftState: negative n");
+    std::uint64_t base = 0;
+    for (std::int32_t a = 0; a < n; ++a) {
+      pending_smaller_[a] = a;
+      row_base_[a] = base;
+      base += static_cast<std::uint64_t>(n - 1 - a);
+    }
+  }
 
   std::int32_t n() const { return n_; }
 
   bool self_done(std::int32_t a) const { return self_done_[a]; }
-  bool pair_done(std::int32_t a, std::int32_t b) const;
+
+  bool pair_done(std::int32_t a, std::int32_t b) const {
+    return pair_bit(idx(a, b));
+  }
 
   /// Pair {a,b} may run iff not done, self(min) done, self(max) not done.
-  bool can_pair(std::int32_t a, std::int32_t b) const;
+  bool can_pair(std::int32_t a, std::int32_t b) const {
+    if (a == b || pair_bit(idx(a, b))) return false;
+    const auto [lo, hi] = std::minmax(a, b);
+    return self_done_[lo] && !self_done_[hi];
+  }
 
   /// self(a) may run iff not done and every pair {k,a}, k<a is done.
-  bool can_self(std::int32_t a) const;
+  bool can_self(std::int32_t a) const {
+    return !self_done_[a] && pending_smaller_[a] == 0;
+  }
 
-  void mark_pair(std::int32_t a, std::int32_t b);
-  void mark_self(std::int32_t a);
+  void mark_pair(std::int32_t a, std::int32_t b) {
+    const std::uint64_t i = idx(a, b);
+    require(a != b && !pair_bit(i), "QftState::mark_pair: invalid");
+    pair_done_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    --pending_smaller_[std::max(a, b)];
+    --pairs_remaining_;
+  }
+
+  void mark_self(std::int32_t a) {
+    require(!self_done_[a], "QftState::mark_self: already done");
+    self_done_[a] = 1;
+    --selfs_remaining_;
+  }
 
   std::int64_t pairs_remaining() const { return pairs_remaining_; }
   std::int32_t selfs_remaining() const { return selfs_remaining_; }
-  bool all_done() const { return pairs_remaining_ == 0 && selfs_remaining_ == 0; }
+  bool all_done() const {
+    return pairs_remaining_ == 0 && selfs_remaining_ == 0;
+  }
 
  private:
-  std::size_t idx(std::int32_t a, std::int32_t b) const;
+  static std::int64_t pair_count(std::int32_t n) {
+    return static_cast<std::int64_t>(n) * (n - 1) / 2;
+  }
+
+  /// Packed upper-triangular bit index of pair {a,b}: row_base_[lo] replaces
+  /// the closed-form lo*(2n-lo-1)/2 multiply with one table load.
+  std::uint64_t idx(std::int32_t a, std::int32_t b) const {
+    const auto [lo, hi] = std::minmax(a, b);
+    return row_base_[lo] + static_cast<std::uint64_t>(hi - lo - 1);
+  }
+
+  bool pair_bit(std::uint64_t i) const {
+    return (pair_done_[i >> 6] >> (i & 63)) & 1u;
+  }
 
   std::int32_t n_ = 0;
   std::vector<std::uint8_t> self_done_;
-  std::vector<std::uint8_t> pair_done_;
+  std::vector<std::uint64_t> pair_done_;  // triangular, n(n-1)/2 bits
+  std::vector<std::uint64_t> row_base_;   // idx of pair {a,a+1} per row a
   /// pending_smaller_[a] = #pairs {k,a}, k<a not yet done (gates self(a)).
   std::vector<std::int32_t> pending_smaller_;
   std::int64_t pairs_remaining_ = 0;

@@ -8,7 +8,8 @@
 
 namespace qfto {
 
-MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie) {
+MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie,
+                               verify::EmitAudit* audit) {
   require(m >= 2 && m % 2 == 0, "map_qft_sycamore: m must be even and >= 2");
   const SycamoreLayout lay{m};
   const CouplingGraph g = make_sycamore(m);
@@ -25,46 +26,63 @@ MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie) {
     }
   }
   QftState state(n);
-  LayerEmitter em(g, initial, state);
+  LayerEmitter em(g, initial, state, audit);
+  em.reserve_gates(2 * (static_cast<std::int64_t>(n) * (n - 1) / 2 + n));
 
-  // Physical line of each unit slot (slots are fixed; contents move).
-  std::vector<std::vector<PhysicalQubit>> slot_line(units);
+  // Physical line of each unit slot (slots are fixed; contents move), with
+  // intra-line edges pre-resolved.
+  std::vector<Line> lines;
+  lines.reserve(static_cast<std::size_t>(units));
   for (std::int32_t u = 0; u < units; ++u) {
-    slot_line[u].resize(len);
-    for (std::int32_t p = 0; p < len; ++p) slot_line[u][p] = lay.unit_pos(u, p);
+    std::vector<PhysicalQubit> nodes(static_cast<std::size_t>(len));
+    for (std::int32_t p = 0; p < len; ++p) {
+      nodes[static_cast<std::size_t>(p)] = lay.unit_pos(u, p);
+    }
+    lines.emplace_back(em, std::move(nodes));
   }
 
-  // Cross links between vertically adjacent slots, in line coordinates.
+  // Cross links between vertically adjacent slots, in line coordinates,
+  // resolved once per slot pair. The diagonal matching used by unit_swap —
+  // (lower 2c+1 of slot s, upper 2c of slot s+1) — is a subset of these
+  // links; keep its handles separately for the 3-step move.
   std::vector<CrossLink> cross;
   for (std::int32_t pa = 1; pa < len; pa += 2) {
     cross.push_back({pa, pa - 1});
     if (pa + 1 < len) cross.push_back({pa, pa + 1});
   }
+  std::vector<std::vector<LayerEmitter::EdgeHandle>> vert(
+      static_cast<std::size_t>(units - 1));
+  std::vector<std::vector<LayerEmitter::EdgeHandle>> diag(
+      static_cast<std::size_t>(units - 1));
+  for (std::int32_t s = 0; s + 1 < units; ++s) {
+    vert[s] = resolve_cross_links(em, lines[s], lines[s + 1], cross);
+    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) {
+      diag[s].push_back(
+          em.resolve_edge(lines[s][2 * c + 1], lines[s + 1][2 * c]));
+    }
+  }
 
   UnitOps ops;
-  ops.ia = [&](std::int32_t s) { run_line_qft(em, slot_line[s]); };
+  ops.ia = [&](std::int32_t s) { run_line_qft(em, lines[s]); };
   ops.ie = [&](std::int32_t s) {
     // Both units follow the same travel path (synced phases) — the Sycamore
     // regime of §5; the engine's fix-up supplies the equal-position pairs.
     TwoLineIeConfig cfg{0, 0};
     cfg.strict = strict_ie;
-    run_two_line_ie(em, slot_line[s], slot_line[s + 1], cross, cfg);
+    run_two_line_ie(em, lines[s], lines[s + 1], vert[s], cfg);
   };
   ops.unit_swap = [&](std::int32_t s) {
-    // 3-step order-preserving unit SWAP across the cross-link matching
-    // {(lower 2c+1 of slot s, upper 2c of slot s+1)}:
+    // 3-step order-preserving unit SWAP across the diagonal matching:
     //   cross matching, intra-unit pair layer in both units, cross matching.
-    const auto& a = slot_line[s];
-    const auto& b = slot_line[s + 1];
     em.next_layer();
-    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) em.try_swap(a[2 * c + 1], b[2 * c]);
+    for (const auto& e : diag[s]) em.try_swap(e);
     em.next_layer();
     for (std::int32_t c = 0; 2 * c + 1 < len; ++c) {
-      em.try_swap(a[2 * c], a[2 * c + 1]);
-      em.try_swap(b[2 * c], b[2 * c + 1]);
+      em.try_swap(lines[s].edge(2 * c));
+      em.try_swap(lines[s + 1].edge(2 * c));
     }
     em.next_layer();
-    for (std::int32_t c = 0; 2 * c + 1 < len; ++c) em.try_swap(a[2 * c + 1], b[2 * c]);
+    for (const auto& e : diag[s]) em.try_swap(e);
   };
 
   run_unit_qft(units, ops);

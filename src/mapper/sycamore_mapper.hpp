@@ -7,11 +7,14 @@
 #pragma once
 
 #include "circuit/mapped_circuit.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
 /// m must be even and >= 2; N = m*m. `strict_ie` switches the inter-unit
 /// pattern from QFT-IE-relaxed to QFT-IE-strict (§3.3 ablation, ~2x slower).
-MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie = false);
+/// `audit`, when non-null, engages fused verification (verify::EmitAudit).
+MappedCircuit map_qft_sycamore(std::int32_t m, bool strict_ie = false,
+                               verify::EmitAudit* audit = nullptr);
 
 }  // namespace qfto

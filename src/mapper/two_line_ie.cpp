@@ -6,27 +6,36 @@
 
 namespace qfto {
 
-std::int32_t line_shift_layer(LayerEmitter& em,
-                              const std::vector<PhysicalQubit>& line,
+std::vector<LayerEmitter::EdgeHandle> resolve_cross_links(
+    const LayerEmitter& em, const Line& line_a, const Line& line_b,
+    const std::vector<CrossLink>& links) {
+  std::vector<LayerEmitter::EdgeHandle> handles;
+  handles.reserve(links.size());
+  for (const auto& [pa, pb] : links) {
+    handles.push_back(em.resolve_edge(line_a[static_cast<std::size_t>(pa)],
+                                      line_b[static_cast<std::size_t>(pb)]));
+  }
+  return handles;
+}
+
+std::int32_t line_shift_layer(LayerEmitter& em, const Line& line,
                               std::int32_t parity) {
   std::int32_t emitted = 0;
   for (std::size_t i = static_cast<std::size_t>(parity & 1); i + 1 < line.size();
        i += 2) {
-    if (em.try_swap(line[i], line[i + 1])) ++emitted;
+    if (em.try_swap(line.edge(i))) ++emitted;
   }
   return emitted;
 }
 
 namespace {
 
-std::int64_t owed_pairs(const LayerEmitter& em,
-                        const std::vector<PhysicalQubit>& line_a,
-                        const std::vector<PhysicalQubit>& line_b,
-                        const QftState& state) {
+std::int64_t owed_pairs(const LayerEmitter& em, const Line& line_a,
+                        const Line& line_b, const QftState& state) {
   std::int64_t owed = 0;
-  for (PhysicalQubit pa : line_a) {
+  for (PhysicalQubit pa : line_a.nodes()) {
     const LogicalQubit a = em.tracker().logical_at(pa);
-    for (PhysicalQubit pb : line_b) {
+    for (PhysicalQubit pb : line_b.nodes()) {
       const LogicalQubit b = em.tracker().logical_at(pb);
       if (!state.pair_done(a, b)) ++owed;
     }
@@ -40,11 +49,12 @@ std::int64_t owed_pairs(const LayerEmitter& em,
 // pairs at any instant form an anti-diagonal front.
 class StrictFront {
  public:
-  StrictFront(const LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
-              const std::vector<PhysicalQubit>& line_b) {
-    auto occupants = [&](const std::vector<PhysicalQubit>& line) {
+  StrictFront(const LayerEmitter& em, const Line& line_a, const Line& line_b) {
+    auto occupants = [&](const Line& line) {
       std::vector<LogicalQubit> ls;
-      for (PhysicalQubit p : line) ls.push_back(em.tracker().logical_at(p));
+      for (PhysicalQubit p : line.nodes()) {
+        ls.push_back(em.tracker().logical_at(p));
+      }
       std::sort(ls.begin(), ls.end());
       return ls;
     };
@@ -76,23 +86,21 @@ class StrictFront {
 };
 
 std::int32_t cphase_layer(LayerEmitter& em,
-                          const std::vector<PhysicalQubit>& line_a,
-                          const std::vector<PhysicalQubit>& line_b,
-                          const std::vector<CrossLink>& links,
+                          const std::vector<LayerEmitter::EdgeHandle>& links,
                           StrictFront* strict) {
   std::int32_t emitted = 0;
-  for (const auto& [pa, pb] : links) {
+  for (const auto& e : links) {
     if (strict) {
-      const LogicalQubit a = em.tracker().logical_at(line_a[pa]);
-      const LogicalQubit b = em.tracker().logical_at(line_b[pb]);
+      const LogicalQubit a = em.tracker().logical_at(e.a);
+      const LogicalQubit b = em.tracker().logical_at(e.b);
       if (a == kInvalidQubit || b == kInvalidQubit || !strict->allowed(a, b)) {
         continue;
       }
-      if (em.try_cphase(line_a[pa], line_b[pb])) {
+      if (em.try_cphase(e)) {
         strict->advance(a, b);
         ++emitted;
       }
-    } else if (em.try_cphase(line_a[pa], line_b[pb])) {
+    } else if (em.try_cphase(e)) {
       ++emitted;
     }
   }
@@ -101,9 +109,8 @@ std::int32_t cphase_layer(LayerEmitter& em,
 
 }  // namespace
 
-void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
-                     const std::vector<PhysicalQubit>& line_b,
-                     const std::vector<CrossLink>& links,
+void run_two_line_ie(LayerEmitter& em, const Line& line_a, const Line& line_b,
+                     const std::vector<LayerEmitter::EdgeHandle>& links,
                      const TwoLineIeConfig& cfg) {
   require(!links.empty(), "run_two_line_ie: no cross links");
   std::int64_t owed = owed_pairs(em, line_a, line_b, em.state());
@@ -125,7 +132,7 @@ void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
                  : 2;
   for (std::int64_t round = 0; owed > 0 && round <= main_cap; ++round) {
     em.next_layer();
-    const std::int32_t fired = cphase_layer(em, line_a, line_b, links, strict);
+    const std::int32_t fired = cphase_layer(em, links, strict);
     owed -= fired;
     if (owed == 0) return;
     rounds_without_progress = fired > 0 ? 0 : rounds_without_progress + 1;
@@ -145,7 +152,7 @@ void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
       em.next_layer();
       line_shift_layer(em, *line, parity);
       em.next_layer();
-      owed -= cphase_layer(em, line_a, line_b, links, strict);
+      owed -= cphase_layer(em, links, strict);
       em.next_layer();
       line_shift_layer(em, *line, parity);  // restore
       if (owed == 0) return;
@@ -185,8 +192,7 @@ void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
       em.next_layer();
       line_shift_layer(em, line_b, static_cast<std::int32_t>(r) & 1);
       em.next_layer();
-      const std::int32_t fired =
-          cphase_layer(em, line_a, line_b, links, strict);
+      const std::int32_t fired = cphase_layer(em, links, strict);
       owed -= fired;
       idle = fired > 0 ? 0 : idle + 1;
     }

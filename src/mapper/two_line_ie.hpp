@@ -16,11 +16,17 @@
 // The engine is closed-loop: it counts the owed pairs up front and runs until
 // none remain, throwing if a round cap is exceeded (never observed; guards
 // against misconfigured link sets).
+//
+// Cross links arrive pre-resolved (EdgeHandles): unit slots are fixed
+// physical structure, so callers resolve each cross edge once per slot pair
+// instead of probing the CSR on every CPHASE layer — the same redesign as
+// the Line type in line_engine.hpp.
 #pragma once
 
 #include <vector>
 
 #include "mapper/emitter.hpp"
+#include "mapper/line_engine.hpp"
 
 namespace qfto {
 
@@ -28,6 +34,13 @@ struct CrossLink {
   std::int32_t pa;  // position in line A
   std::int32_t pb;  // position in line B
 };
+
+/// Resolves positional cross links between two slot lines into edge handles,
+/// validating each against the coupling graph. Callers with fixed slots do
+/// this once per slot pair and reuse the handles for every IE between them.
+std::vector<LayerEmitter::EdgeHandle> resolve_cross_links(
+    const LayerEmitter& em, const Line& line_a, const Line& line_b,
+    const std::vector<CrossLink>& links);
 
 struct TwoLineIeConfig {
   std::int32_t parity_a = 0;  // movement phase of line A
@@ -39,18 +52,17 @@ struct TwoLineIeConfig {
   bool strict = false;
 };
 
-/// Executes QFT-IE between the occupants of lineA and lineB. Intra-line
-/// order on exit is whatever the travel path leaves (callers renormalize via
-/// the line engine's presort when they next run QFT-IA).
-void run_two_line_ie(LayerEmitter& em, const std::vector<PhysicalQubit>& line_a,
-                     const std::vector<PhysicalQubit>& line_b,
-                     const std::vector<CrossLink>& links,
+/// Executes QFT-IE between the occupants of lineA and lineB. `links` are the
+/// cross edges (A-side endpoint first), typically from resolve_cross_links.
+/// Intra-line order on exit is whatever the travel path leaves (callers
+/// renormalize via the line engine's presort when they next run QFT-IA).
+void run_two_line_ie(LayerEmitter& em, const Line& line_a, const Line& line_b,
+                     const std::vector<LayerEmitter::EdgeHandle>& links,
                      const TwoLineIeConfig& cfg = {});
 
 /// Full odd-even SWAP layer at `parity` on one line (the Fig. 13(a) step).
 /// Returns the number of SWAPs emitted. Does not advance the layer.
-std::int32_t line_shift_layer(LayerEmitter& em,
-                              const std::vector<PhysicalQubit>& line,
+std::int32_t line_shift_layer(LayerEmitter& em, const Line& line,
                               std::int32_t parity);
 
 }  // namespace qfto

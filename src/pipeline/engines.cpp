@@ -1,5 +1,6 @@
 // The seven paper engines registered behind MapperPipeline: the four
 // structured mappers (§2.2, §4, §5, §6) and the three baselines (§7).
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -38,8 +39,8 @@ class LnnEngine final : public MapperEngine {
     return make_line(n);
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph&,
-                    const MapOptions&) const override {
-    return map_qft_lnn(n);
+                    const MapOptions& opts) const override {
+    return map_qft_lnn(n, opts.audit);
   }
 };
 
@@ -56,8 +57,46 @@ class HeavyHexEngine final : public MapperEngine {
     return make_heavy_hex(heavy_hex_layout(n));
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph&,
-                    const MapOptions&) const override {
-    return map_qft_heavy_hex(n);
+                    const MapOptions& opts) const override {
+    return map_qft_heavy_hex(n, opts.audit);
+  }
+};
+
+/// The *full* heavy-hex device engine (Appendix 1): builds the unreduced
+/// device graph — rows of `kCols` qubits joined by bridge qubits — then maps
+/// via the reduction-to-main-line path of map_qft_heavy_hex_device. The
+/// mapped circuit is valid on the full device graph; the deleted links are
+/// simply never used.
+class HeavyHexDeviceEngine final : public MapperEngine {
+ public:
+  /// IBM-style 13-qubit rows (cols ≡ 1 mod 4 so both row ends carry a
+  /// bridge). With 4 bridges per gap, r rows give N = 17r - 4 qubits.
+  static constexpr std::int32_t kCols = 13;
+
+  std::string name() const override { return "heavy_hex_device"; }
+  std::string description() const override {
+    return "full heavy-hex device via the Appendix-1 reduction (N = 17r - 4)";
+  }
+  std::int32_t native_size(std::int32_t n) const override {
+    const std::int32_t r =
+        std::max<std::int32_t>(1, static_cast<std::int32_t>((n + 4 + 16) / 17));
+    return 17 * r - 4;
+  }
+  CouplingGraph build_graph(std::int32_t n, const MapOptions&) const override {
+    return make_heavy_hex_device(rows_for(n), kCols).graph;
+  }
+  MappedCircuit map(std::int32_t n, const CouplingGraph&,
+                    const MapOptions& opts) const override {
+    return map_qft_heavy_hex_device(make_heavy_hex_device(rows_for(n), kCols),
+                                    opts.audit);
+  }
+
+ private:
+  /// Rows for a *native* n (n = 17r - 4 exactly).
+  static std::int32_t rows_for(std::int32_t n) {
+    const std::int32_t r = (n + 4) / 17;
+    require(17 * r - 4 == n, "heavy_hex_device: n is not a native size");
+    return r;
   }
 };
 
@@ -77,7 +116,7 @@ class SycamoreEngine final : public MapperEngine {
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph&,
                     const MapOptions& opts) const override {
-    return map_qft_sycamore(grid_side(n, 2), opts.strict_ie);
+    return map_qft_sycamore(grid_side(n, 2), opts.strict_ie, opts.audit);
   }
 };
 
@@ -103,7 +142,7 @@ class LatticeEngine final : public MapperEngine {
     lopts.strict_ie = opts.strict_ie;
     lopts.phase_offset = opts.lattice_phase_offset;
     lopts.transversal_unit_swap = opts.transversal_unit_swap;
-    return map_qft_lattice(grid_side(n, 2), lopts);
+    return map_qft_lattice(grid_side(n, 2), lopts, opts.audit);
   }
 };
 
@@ -127,7 +166,7 @@ class Grid2dEngine final : public MapperEngine {
     lopts.strict_ie = opts.strict_ie;
     lopts.phase_offset = opts.lattice_phase_offset;
     lopts.transversal_unit_swap = opts.transversal_unit_swap;
-    return map_qft_grid2d(grid_side(n, 2), lopts);
+    return map_qft_grid2d(grid_side(n, 2), lopts, opts.audit);
   }
 };
 
@@ -152,8 +191,8 @@ class LnnBaselineEngine final : public MapperEngine {
     return LatencyModel::lattice(g);
   }
   MappedCircuit map(std::int32_t n, const CouplingGraph& g,
-                    const MapOptions&) const override {
-    return map_qft_on_path(g, lattice_snake_path(grid_side(n, 2)));
+                    const MapOptions& opts) const override {
+    return map_qft_on_path(g, lattice_snake_path(grid_side(n, 2)), opts.audit);
   }
 };
 
@@ -229,6 +268,7 @@ MapperPipeline MapperPipeline::with_paper_engines() {
   MapperPipeline pipeline;
   pipeline.register_engine(std::make_unique<LnnEngine>());
   pipeline.register_engine(std::make_unique<HeavyHexEngine>());
+  pipeline.register_engine(std::make_unique<HeavyHexDeviceEngine>());
   pipeline.register_engine(std::make_unique<SycamoreEngine>());
   pipeline.register_engine(std::make_unique<LatticeEngine>());
   pipeline.register_engine(std::make_unique<Grid2dEngine>());

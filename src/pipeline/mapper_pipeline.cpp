@@ -131,23 +131,37 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   result.graph = engine.build_graph(result.n, opts);
   live.ensure("map");
 
-  timed_map_stage(result, opts, [&](const MapOptions& map_opts) {
+  // Fused mode: hand the engine an audit sink so the emitter verifies while
+  // it emits. Engines that bypass LayerEmitter (the routed baselines) simply
+  // never engage it, and the streaming fallback below picks up the check.
+  verify::EmitAudit audit;
+  const bool fused = opts.verify && opts.verify_mode == VerifyMode::kFused;
+  if (fused) audit.model = engine.latency_model(result.graph);
+
+  timed_map_stage(result, opts, [&](MapOptions map_opts) {
+    if (fused) map_opts.audit = &audit;
     return engine.map(result.n, result.graph, map_opts);
   });
   live.ensure("verify");
 
   if (opts.verify) {
-    WallTimer timer;
-    const LatencyModel latency = engine.latency_model(result.graph);
-    // Streaming path: one fused pass (adjacency/ordering/angle checks, ASAP
-    // depth, gate counts) through IncrementalQftChecker. The replay path is
-    // the pre-rewrite algorithm, kept selectable for differential testing.
-    result.check =
-        opts.incremental_verify
-            ? check_qft_mapping(result.mapped, result.graph, latency)
-            : check_qft_mapping_replay(result.mapped, result.graph,
-                                       LatencyFn(latency));
-    result.timings.check_seconds = timer.seconds();
+    if (fused && audit.engaged) {
+      // The verdict was computed gate-by-gate inside the map stage; there is
+      // no separate pass to time.
+      result.check = std::move(audit.result);
+    } else {
+      WallTimer timer;
+      const LatencyModel latency = engine.latency_model(result.graph);
+      // Streaming path: one fused pass (adjacency/ordering/angle checks,
+      // ASAP depth, gate counts) through IncrementalQftChecker. The replay
+      // path is the pre-rewrite algorithm, kept for differential testing.
+      result.check =
+          opts.verify_mode == VerifyMode::kReplay
+              ? check_qft_mapping_replay(result.mapped, result.graph,
+                                         LatencyFn(latency))
+              : check_qft_mapping(result.mapped, result.graph, latency);
+      result.timings.check_seconds = timer.seconds();
+    }
   }
   return result;
 }

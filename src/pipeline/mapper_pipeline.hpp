@@ -27,8 +27,23 @@
 #include "baseline/satmap.hpp"
 #include "circuit/mapped_circuit.hpp"
 #include "verify/qft_checker.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
+
+/// How MapResult::check is produced (MapOptions::verify_mode).
+enum class VerifyMode : std::uint8_t {
+  /// Fused: the emitter audits as it emits (verify::EmitAudit) and the
+  /// separate verification pass disappears (check_seconds ≈ 0). Engines
+  /// that bypass LayerEmitter (`sabre`, `satmap`) fall back to kStream.
+  kFused = 0,
+  /// One streaming pass through IncrementalQftChecker after mapping.
+  kStream = 1,
+  /// Legacy post-hoc replay (check_qft_mapping_replay): separate check,
+  /// schedule and count walks. Kept selectable so the three paths stay
+  /// comparable in tests and benchmarks — results are bit-identical.
+  kReplay = 2,
+};
 
 struct MapOptions {
   // Structured-mapper ablation knobs (§3.3 strict IE, §6 lattice variants).
@@ -50,12 +65,15 @@ struct MapOptions {
   /// off only for timing-only runs where verification is done elsewhere.
   bool verify = true;
 
-  /// Verify by streaming the emitted gates through IncrementalQftChecker —
-  /// one fused pass computing checks, depth and counts together. Off falls
-  /// back to the legacy post-hoc replay (check_qft_mapping_replay): separate
-  /// check, schedule and count walks. Results are bit-identical; the flag
-  /// exists so the two paths stay comparable in tests and benchmarks.
-  bool incremental_verify = true;
+  /// Verification strategy (see VerifyMode). All modes produce bit-identical
+  /// QftCheckResults; they differ only in when the work happens.
+  VerifyMode verify_mode = VerifyMode::kFused;
+
+  /// Fused-verification plumbing: the pipeline installs its EmitAudit here
+  /// before calling MapperEngine::map, and the structured engines hand it to
+  /// their LayerEmitter. Callers invoking engines directly may install their
+  /// own; under the pipeline entry points leave it null.
+  verify::EmitAudit* audit = nullptr;
 
   // ------------------------------------------------------- serving knobs --
   // Not part of the result-cache fingerprint: they shape how a run is

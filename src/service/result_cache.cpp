@@ -96,7 +96,7 @@ std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
   k += opts.satmap.incremental ? '1' : '0';
   k += "|verify=";
   k += opts.verify ? '1' : '0';
-  k += opts.incremental_verify ? '1' : '0';
+  k += static_cast<char>('0' + static_cast<int>(opts.verify_mode));
   return k;
 }
 

@@ -1,31 +1,10 @@
 #include "verify/circuit_checker.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <map>
-#include <numeric>
-#include <tuple>
-#include <vector>
-
-#include "circuit/dag.hpp"
-#include "verify/mapping_tracker.hpp"
+#include "verify/verifier.hpp"
 
 namespace qfto {
 
 namespace {
-
-/// Matching key: kind, operand labels (sorted for the symmetric CPHASE —
-/// its unitary ignores orientation), exact angle bit pattern. Routers copy
-/// angles verbatim, so bit equality is the right notion.
-using GateKey = std::tuple<std::uint8_t, std::int32_t, std::int32_t,
-                           std::uint64_t>;
-
-GateKey key_of(GateKind kind, std::int32_t a, std::int32_t b, double angle) {
-  if (kind == GateKind::kCPhase && a > b) std::swap(a, b);
-  std::uint64_t angle_bits = 0;
-  std::memcpy(&angle_bits, &angle, sizeof(angle_bits));
-  return {static_cast<std::uint8_t>(kind), a, b, angle_bits};
-}
 
 QftCheckResult failure(std::string msg) {
   QftCheckResult r;
@@ -36,6 +15,9 @@ QftCheckResult failure(std::string msg) {
 
 }  // namespace
 
+// Thin driver over the streaming verify::IncrementalCircuitChecker (see
+// verify/verifier.cpp): header validation needs the whole MappedCircuit, the
+// per-gate matching is one push() per emitted gate.
 QftCheckResult check_circuit_mapping(const MappedCircuit& mc,
                                      const Circuit& logical,
                                      const CouplingGraph& g,
@@ -57,124 +39,9 @@ QftCheckResult check_circuit_mapping(const MappedCircuit& mc,
   if (!valid_mapping(mc.final_mapping, num_physical)) {
     return failure("final mapping is not an injection");
   }
-
-  // Reference side: eliminate logical SWAP gates by relabeling — data[w] is
-  // the original wire label whose value currently sits on wire w. The
-  // canonical circuit is SWAP-free and expressed in data labels, exactly the
-  // labels MappingTracker recovers on the hardware side (it follows every
-  // physical SWAP, including ones a router emitted for a logical SWAP gate).
-  std::vector<std::int32_t> data(static_cast<std::size_t>(n));
-  std::iota(data.begin(), data.end(), 0);
-  Circuit canon(n);
-  for (const Gate& gate : logical) {
-    if (gate.kind == GateKind::kSwap) {
-      std::swap(data[gate.q0], data[gate.q1]);
-      continue;
-    }
-    Gate relabeled = gate;
-    relabeled.q0 = data[gate.q0];
-    if (gate.two_qubit()) relabeled.q1 = data[gate.q1];
-    canon.append(relabeled);
-  }
-
-  // Relaxed dependency DAG over the canonical circuit; `ready` buckets the
-  // currently schedulable gates by matching key, so each emitted gate is
-  // matched in O(log #keys). Equal-key gates that are simultaneously ready
-  // have identical successor barriers (same kind, wires, angle), so popping
-  // any of them is safe.
-  const Dag dag = build_relaxed_dag(canon);
-  std::vector<std::int32_t> indegree(canon.size());
-  for (std::size_t i = 0; i < canon.size(); ++i) {
-    indegree[i] = static_cast<std::int32_t>(dag.pred[i].size());
-  }
-  std::map<GateKey, std::vector<std::int32_t>> ready;
-  for (std::size_t i = 0; i < canon.size(); ++i) {
-    if (indegree[i] == 0) {
-      const Gate& c = canon[static_cast<std::size_t>(i)];
-      ready[key_of(c.kind, c.q0, c.q1, c.angle)].push_back(
-          static_cast<std::int32_t>(i));
-    }
-  }
-
-  MappingTracker tracker(mc.initial, num_physical);
-  std::vector<Cycle> busy(static_cast<std::size_t>(num_physical), 0);
-  Cycle depth = 0;
-  GateCounts counts;
-  std::size_t matched = 0;
-
-  for (std::size_t gi = 0; gi < mc.circuit.size(); ++gi) {
-    const Gate& gate = mc.circuit[gi];
-    const std::string at = "gate " + std::to_string(gi) + " (" +
-                           gate.to_string() + ")";
-    if (gate.two_qubit() && !g.adjacent(gate.q0, gate.q1)) {
-      return failure(at + ": not a coupling-graph edge");
-    }
-
-    // Fused ASAP depth + counts (same recurrence as schedule_asap_with).
-    Cycle start = busy[gate.q0];
-    if (gate.two_qubit()) start = std::max(start, busy[gate.q1]);
-    const Cycle finish = start + latency(gate);
-    busy[gate.q0] = finish;
-    if (gate.two_qubit()) busy[gate.q1] = finish;
-    depth = std::max(depth, finish);
-    switch (gate.kind) {
-      case GateKind::kH: ++counts.h; break;
-      case GateKind::kX: ++counts.x; break;
-      case GateKind::kRz: ++counts.rz; break;
-      case GateKind::kCPhase: ++counts.cphase; break;
-      case GateKind::kSwap: ++counts.swap; break;
-      case GateKind::kCnot: ++counts.cnot; break;
-    }
-
-    if (gate.kind == GateKind::kSwap) {
-      tracker.apply_swap(gate.q0, gate.q1);
-      continue;
-    }
-    const LogicalQubit l0 = tracker.logical_at(gate.q0);
-    const LogicalQubit l1 =
-        gate.two_qubit() ? tracker.logical_at(gate.q1) : kInvalidQubit;
-    if (l0 == kInvalidQubit || (gate.two_qubit() && l1 == kInvalidQubit)) {
-      return failure(at + ": acts on a physical qubit holding no logical "
-                          "qubit");
-    }
-    const auto it = ready.find(key_of(gate.kind, l0, l1, gate.angle));
-    if (it == ready.end() || it->second.empty()) {
-      return failure(at + ": no matching logical gate is schedulable here "
-                          "(wrong gate, angle, or dependency order)");
-    }
-    const std::int32_t ci = it->second.back();
-    it->second.pop_back();
-    if (it->second.empty()) ready.erase(it);
-    ++matched;
-    for (const std::int32_t succ : dag.succ[ci]) {
-      if (--indegree[succ] == 0) {
-        const Gate& c = canon[static_cast<std::size_t>(succ)];
-        ready[key_of(c.kind, c.q0, c.q1, c.angle)].push_back(succ);
-      }
-    }
-  }
-
-  if (matched != canon.size()) {
-    return failure("mapped circuit is missing " +
-                   std::to_string(canon.size() - matched) +
-                   " logical gate(s)");
-  }
-  for (std::int32_t w = 0; w < n; ++w) {
-    // Output of logical wire w is data[w]'s value; the tracker knows where
-    // that data ended up physically.
-    if (mc.final_mapping[w] != tracker.physical_of(data[w])) {
-      return failure("final mapping mismatch on logical qubit " +
-                     std::to_string(w) + ": declared " +
-                     std::to_string(mc.final_mapping[w]) + ", tracked " +
-                     std::to_string(tracker.physical_of(data[w])));
-    }
-  }
-
-  QftCheckResult r;
-  r.ok = true;
-  r.depth = depth;
-  r.counts = counts;
-  return r;
+  auto verifier = verify::make_circuit_verifier(logical, mc.initial, g,
+                                                latency);
+  return verify::verify_mapped(*verifier, mc);
 }
 
 }  // namespace qfto

@@ -101,10 +101,10 @@ class IncrementalQftChecker {
   }
 
   /// Packed upper-triangular index of pair (lo,hi), 0 <= lo < hi < n.
+  /// row_base_ replaces the closed-form lo*(2n-lo-1)/2 multiply with one
+  /// table load on the per-gate path.
   std::size_t pair_index(LogicalQubit lo, LogicalQubit hi) const {
-    const std::int64_t row =
-        static_cast<std::int64_t>(lo) * (2 * n_ - lo - 1) / 2;
-    return static_cast<std::size_t>(row + (hi - lo - 1));
+    return static_cast<std::size_t>(row_base_[lo] + (hi - lo - 1));
   }
   bool pair_bit(std::size_t idx) const {
     return (pair_seen_[idx >> 6] >> (idx & 63)) & 1u;
@@ -126,6 +126,7 @@ class IncrementalQftChecker {
   std::vector<double> angle_by_gap_;      // qft_angle(0, gap), gap = hi - lo
   std::vector<std::uint64_t> h_seen_;     // one bit per logical qubit
   std::vector<std::uint64_t> pair_seen_;  // triangular, n(n-1)/2 bits
+  std::vector<std::uint64_t> row_base_;   // pair_index of (lo, lo+1) per row
   std::int64_t hs_ = 0;
   std::int64_t pairs_ = 0;
   GateCounts counts_;

@@ -229,7 +229,10 @@ class CheckerMutation : public ::testing::TestWithParam<const char*> {
   const CouplingGraph& graph() const { return result_.graph; }
   const MappedCircuit& valid() const { return result_.mapped; }
 
-  std::vector<Gate> gates() const { return valid().circuit.gates(); }
+  std::vector<Gate> gates() const {
+    const Circuit& c = valid().circuit;
+    return std::vector<Gate>(c.begin(), c.end());
+  }
 
   MappedCircuit rebuilt(const std::vector<Gate>& gates) const {
     MappedCircuit mc;

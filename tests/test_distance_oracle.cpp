@@ -1,0 +1,232 @@
+// DistanceOracle: the closed-form/BFS redesign behind the retired
+// distance_matrix(). Property sweep against the eager differential oracle on
+// every registered topology, LRU row-cache eviction accounting, concurrent
+// first use (the PR-2 TSan regression re-targeted at the per-row cache), and
+// oracle invalidation across graph copy/move/mutation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "arch/distance_oracle.hpp"
+#include "arch/grid.hpp"
+#include "arch/heavy_hex.hpp"
+#include "arch/lattice_surgery.hpp"
+#include "arch/line.hpp"
+#include "arch/sycamore.hpp"
+
+namespace qfto {
+namespace {
+
+/// Asserts every (a,b) agrees with the eager all-pairs BFS matrix.
+void expect_matches_eager(const CouplingGraph& g, const char* label) {
+  const DistanceOracle& oracle = g.distances();
+  const auto expected = oracle.eager_matrix_for_tests();
+  const std::int32_t n = g.num_qubits();
+  for (PhysicalQubit a = 0; a < n; ++a) {
+    const DistanceOracle::RowPtr row = oracle.row(a);
+    ASSERT_EQ(row->size(), static_cast<std::size_t>(n)) << label;
+    for (PhysicalQubit b = 0; b < n; ++b) {
+      ASSERT_EQ(oracle.distance(a, b), expected[a][b])
+          << label << " (" << a << "," << b << ")";
+      ASSERT_EQ((*row)[b], expected[a][b])
+          << label << " row (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(DistanceOracle, ClosedFormsMatchEagerBfsOnAllTopologies) {
+  struct Case {
+    const char* label;
+    CouplingGraph graph;
+    bool closed;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"line-1", make_line(1), true});
+  cases.push_back({"line-9", make_line(9), true});
+  cases.push_back({"grid-3x5", make_grid(3, 5), true});
+  cases.push_back({"lattice-rot-4", make_lattice_surgery_rotated(4), true});
+  cases.push_back({"lattice-full-4", make_lattice_surgery_full(4), true});
+  cases.push_back({"heavy-hex-20", make_heavy_hex(heavy_hex_layout(20)), true});
+  cases.push_back({"heavy-hex-custom",
+                   make_heavy_hex(heavy_hex_layout_custom(7, {0, 2, 6})),
+                   true});
+  // Irregular topologies stay on the exact BFS path.
+  cases.push_back({"sycamore-4", make_sycamore(4), false});
+  cases.push_back(
+      {"heavy-hex-device", make_heavy_hex_device(3, 5).graph, false});
+
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.graph.distances().closed_form(), c.closed) << c.label;
+    expect_matches_eager(c.graph, c.label);
+    EXPECT_TRUE(c.graph.connected()) << c.label;
+  }
+}
+
+TEST(DistanceOracle, ClosedFormsNeverRunBfs) {
+  const CouplingGraph g = make_lattice_surgery_full(6);
+  const DistanceOracle& oracle = g.distances();
+  ASSERT_TRUE(oracle.closed_form());
+  for (PhysicalQubit a = 0; a < g.num_qubits(); ++a) {
+    (void)oracle.row(a);
+    (void)oracle.distance(a, 0);
+  }
+  EXPECT_TRUE(oracle.connected());
+  EXPECT_EQ(oracle.bfs_rows_computed(), 0);
+  EXPECT_EQ(oracle.cached_rows(), 0u);
+}
+
+TEST(DistanceOracle, LruRowCacheEvictsBeyondBudgetAndKeepsHotRows) {
+  // Force the cached-BFS path with a generic graph and a tiny explicit
+  // budget, and prove both directions: re-querying inside the budget costs
+  // no recomputation, overflowing it evicts the least-recently-used row.
+  CouplingGraph g("ring", 12);
+  for (std::int32_t i = 0; i < 12; ++i) g.add_edge(i, (i + 1) % 12);
+  const DistanceOracle oracle(g, DistanceSpec{}, /*row_budget=*/4);
+  ASSERT_FALSE(oracle.closed_form());
+  EXPECT_EQ(oracle.row_budget(), 4u);
+
+  for (PhysicalQubit a = 0; a < 4; ++a) (void)oracle.row(a);
+  EXPECT_EQ(oracle.bfs_rows_computed(), 4);
+  EXPECT_EQ(oracle.cached_rows(), 4u);
+
+  // All four rows are resident: re-queries are pure cache hits.
+  for (PhysicalQubit a = 0; a < 4; ++a) (void)oracle.distance(a, 6);
+  EXPECT_EQ(oracle.bfs_rows_computed(), 4);
+
+  // Touch row 0 (making row 1 the LRU victim), then overflow with row 4.
+  (void)oracle.row(0);
+  (void)oracle.row(4);
+  EXPECT_EQ(oracle.bfs_rows_computed(), 5);
+  EXPECT_EQ(oracle.cached_rows(), 4u);
+
+  // Row 0 survived (recency); row 1 was evicted and must recompute.
+  (void)oracle.row(0);
+  EXPECT_EQ(oracle.bfs_rows_computed(), 5);
+  (void)oracle.row(1);
+  EXPECT_EQ(oracle.bfs_rows_computed(), 6);
+
+  // Values stay exact throughout (ring of 12: d = min(|a-b|, 12-|a-b|)).
+  for (PhysicalQubit a = 0; a < 12; ++a) {
+    for (PhysicalQubit b = 0; b < 12; ++b) {
+      const std::int32_t direct = a < b ? b - a : a - b;
+      EXPECT_EQ(oracle.distance(a, b), std::min(direct, 12 - direct));
+    }
+  }
+}
+
+TEST(DistanceOracle, RowHandlesSurviveEviction) {
+  // SABRE pins RowPtrs across rounds; a handle must stay valid and exact
+  // after the LRU has evicted (and even recomputed) its row.
+  CouplingGraph g("path", 8);
+  for (std::int32_t i = 0; i + 1 < 8; ++i) g.add_edge(i, i + 1);
+  const DistanceOracle oracle(g, DistanceSpec{}, /*row_budget=*/2);
+  const DistanceOracle::RowPtr pinned = oracle.row(0);
+  // Cycle every other row through the 2-slot cache: row 0 is evicted.
+  for (PhysicalQubit a = 1; a < 8; ++a) (void)oracle.row(a);
+  EXPECT_EQ(oracle.cached_rows(), 2u);
+  // Re-querying row 0 recomputes it (proof the old row left the cache)...
+  const std::int64_t before = oracle.bfs_rows_computed();
+  const DistanceOracle::RowPtr fresh = oracle.row(0);
+  EXPECT_EQ(oracle.bfs_rows_computed(), before + 1);
+  // ...while the pinned handle kept serving the correct values throughout.
+  for (PhysicalQubit b = 0; b < 8; ++b) {
+    EXPECT_EQ((*pinned)[b], b);
+    EXPECT_EQ((*fresh)[b], b);
+  }
+}
+
+TEST(DistanceOracle, ConcurrentRowCacheFirstUse) {
+  // TSan regression for the redesigned cache: many threads fault in and
+  // evict BFS rows of a shared *generic* oracle concurrently, through the
+  // graph-level double-checked distances() accessor.
+  CouplingGraph shared("torus", 36);
+  for (std::int32_t r = 0; r < 6; ++r) {
+    for (std::int32_t c = 0; c < 6; ++c) {
+      shared.add_edge(r * 6 + c, r * 6 + (c + 1) % 6);
+      shared.add_edge(r * 6 + c, ((r + 1) % 6) * 6 + c);
+    }
+  }
+  CouplingGraph reference = shared;
+  const auto expected = reference.distances().eager_matrix_for_tests();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&shared, &expected, &mismatches, t]() {
+      const std::int32_t n = shared.num_qubits();
+      for (int pass = 0; pass < 3; ++pass) {
+        for (PhysicalQubit a = t; a < n; a += kThreads) {
+          const DistanceOracle::RowPtr row = shared.distances().row(a);
+          for (PhysicalQubit b = 0; b < n; ++b) {
+            if ((*row)[b] != expected[a][b]) ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_FALSE(shared.distances().closed_form());
+  EXPECT_GT(shared.distances().bfs_rows_computed(), 0);
+}
+
+TEST(DistanceOracle, SpecSurvivesCopyButMutationResetsIt) {
+  CouplingGraph g = make_line(6);
+  ASSERT_EQ(g.distance_spec().kind, DistanceSpec::Kind::kLine);
+  ASSERT_TRUE(g.distances().closed_form());
+
+  // Copy: spec carries over, oracle is rebuilt (never shared — it holds a
+  // back-pointer to its owning graph).
+  CouplingGraph copy = g;
+  EXPECT_EQ(copy.distance_spec().kind, DistanceSpec::Kind::kLine);
+  EXPECT_NE(&copy.distances(), &g.distances());
+  EXPECT_EQ(copy.distance(0, 5), 5);
+
+  // Mutation: a shortcut edge invalidates the line closed form; the spec
+  // degrades to kGeneric and queries stay exact via BFS.
+  copy.add_edge(0, 5);
+  EXPECT_EQ(copy.distance_spec().kind, DistanceSpec::Kind::kGeneric);
+  EXPECT_FALSE(copy.distances().closed_form());
+  EXPECT_EQ(copy.distance(0, 5), 1);
+  EXPECT_EQ(copy.distance(1, 5), 2);
+  EXPECT_EQ(g.distance(0, 5), 5);  // source graph untouched
+
+  // Move: queries keep working on the destination.
+  CouplingGraph moved = std::move(copy);
+  EXPECT_EQ(moved.distance(0, 5), 1);
+  EXPECT_TRUE(moved.connected());
+}
+
+TEST(DistanceOracle, DisconnectedGenericGraphReportsMinusOne) {
+  CouplingGraph split("split", 5);
+  split.add_edge(0, 1);
+  split.add_edge(2, 3);
+  const DistanceOracle& oracle = split.distances();
+  EXPECT_FALSE(oracle.connected());
+  EXPECT_EQ(oracle.distance(0, 3), -1);
+  EXPECT_EQ(oracle.distance(0, 4), -1);
+  EXPECT_EQ(oracle.distance(0, 1), 1);
+  EXPECT_EQ((*oracle.row(4))[0], -1);
+}
+
+TEST(DistanceOracle, DefaultBudgetIsBoundedAndFloored) {
+  // Small n: floor of 16 rows. Large n: ~16 MiB worth of 4-byte rows.
+  CouplingGraph small("s", 4);
+  small.add_edge(0, 1);
+  small.add_edge(1, 2);
+  small.add_edge(2, 3);
+  EXPECT_EQ(DistanceOracle(small, DistanceSpec{}).row_budget(), 16u);
+
+  const CouplingGraph big = make_sycamore(64);  // 4096 nodes, kGeneric
+  const std::size_t budget = big.distances().row_budget();
+  EXPECT_GE(budget, 16u);
+  EXPECT_LE(budget * big.num_qubits() * sizeof(std::int32_t),
+            std::size_t{16} << 20);
+}
+
+}  // namespace
+}  // namespace qfto

@@ -67,6 +67,18 @@ TEST(MapCircuit, SatmapRoutesGeneralCircuits) {
   EXPECT_LT(mapped_equivalence_error(r.mapped, 2, 0x5eed, &logical), 1e-9);
 }
 
+TEST(MapCircuit, HeavyHexDeviceRoutesArbitraryCircuitsOnTheFullGraph) {
+  // The dormant device engine is registered: general circuits route (via
+  // SABRE on the engine's native topology) onto the *unreduced* device graph
+  // and verify through the general checker.
+  const Circuit logical = sample_circuit(6);
+  const MapResult r = map_circuit("heavy_hex_device", logical);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+  EXPECT_EQ(r.n, 6);
+  EXPECT_EQ(r.graph.num_qubits(), 13);  // one 13-qubit row holds 6 logicals
+  EXPECT_LT(mapped_equivalence_error(r.mapped, 2, 0x5eed, &logical), 1e-9);
+}
+
 TEST(MapCircuit, QftSpecInputVerifiesThroughTheGeneralChecker) {
   const MapResult r = map_circuit("sabre", qft_logical(6));
   EXPECT_TRUE(r.check.ok) << r.check.error;

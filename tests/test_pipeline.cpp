@@ -23,8 +23,9 @@ namespace {
 
 TEST(PipelineRegistry, ListsAllSevenPaperEngines) {
   const auto names = MapperPipeline::global().engine_names();
-  for (const char* required : {"lnn", "heavy_hex", "sycamore", "lattice",
-                               "sabre", "satmap", "lnn_baseline"}) {
+  for (const char* required :
+       {"lnn", "heavy_hex", "heavy_hex_device", "sycamore", "lattice", "sabre",
+        "satmap", "lnn_baseline"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing engine: " << required;
   }
@@ -115,6 +116,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         SweepCase{"lnn", {1, 2, 3, 5, 8, 16, 33}},
         SweepCase{"heavy_hex", {5, 10, 12, 20, 50}},
+        SweepCase{"heavy_hex_device", {5, 13, 14, 30, 60}},
         SweepCase{"sycamore", {4, 9, 16, 36, 64}},
         SweepCase{"lattice", {4, 9, 10, 25, 64}},
         SweepCase{"grid", {4, 9, 25, 49}},
@@ -142,6 +144,21 @@ TEST(PipelineSnapping, HeavyHexRoundsUpToMultipleOfFive) {
 TEST(PipelineSnapping, LatticeRoundsUpToSquare) {
   EXPECT_EQ(map_qft("lattice", 10).n, 16);
   EXPECT_EQ(map_qft("lnn_baseline", 2).n, 4);
+}
+
+TEST(PipelineSnapping, HeavyHexDeviceSnapsToFullDeviceSizes) {
+  // 13-qubit rows, 4 bridges per gap: r rows hold N = 17r - 4 qubits.
+  EXPECT_EQ(map_qft("heavy_hex_device", 5).n, 13);    // r=1: a bare row
+  EXPECT_EQ(map_qft("heavy_hex_device", 13).n, 13);
+  EXPECT_EQ(map_qft("heavy_hex_device", 14).n, 30);   // r=2
+  EXPECT_EQ(map_qft("heavy_hex_device", 47).n, 47);   // r=3 exactly
+  const MapResult r = map_qft("heavy_hex_device", 31);
+  EXPECT_EQ(r.n, 47);
+  ASSERT_TRUE(r.check.ok) << r.check.error;
+  // The result is verified on the *full* device graph — bridge links the
+  // reduction deletes are present (and simply unused).
+  EXPECT_EQ(r.graph.num_qubits(), 47);
+  EXPECT_GT(r.graph.num_edges(), 46);  // more than a spanning tree: full device
 }
 
 TEST(PipelineSnapping, ExactNativeSizesAreKept) {
@@ -189,10 +206,33 @@ TEST(PipelineOptions, VerifyOffSkipsTheChecker) {
   EXPECT_EQ(r.mapped.num_logical(), 12);
 }
 
-TEST(PipelineVerify, IncrementalAndReplayPathsAreBitIdentical) {
-  // The streaming checker replaced the post-hoc replay in the default verify
-  // path; both stay selectable and must agree exactly — same verdict, depth,
-  // counts and circuit — for every registered engine.
+namespace {
+
+void expect_same_map_result(const MapResult& a, const MapResult& b,
+                            const std::string& label) {
+  ASSERT_TRUE(a.check.ok) << label << ": " << a.check.error;
+  ASSERT_TRUE(b.check.ok) << label << ": " << b.check.error;
+  EXPECT_EQ(a.check.depth, b.check.depth) << label;
+  EXPECT_EQ(a.check.error, b.check.error) << label;
+  EXPECT_EQ(a.check.counts.h, b.check.counts.h) << label;
+  EXPECT_EQ(a.check.counts.cphase, b.check.counts.cphase) << label;
+  EXPECT_EQ(a.check.counts.swap, b.check.counts.swap) << label;
+  EXPECT_EQ(a.check.counts.cnot, b.check.counts.cnot) << label;
+  EXPECT_EQ(a.check.counts.total(), b.check.counts.total()) << label;
+  EXPECT_EQ(a.n, b.n) << label;
+  EXPECT_EQ(a.mapped.circuit.to_string(), b.mapped.circuit.to_string())
+      << label;
+  EXPECT_EQ(a.mapped.initial, b.mapped.initial) << label;
+  EXPECT_EQ(a.mapped.final_mapping, b.mapped.final_mapping) << label;
+}
+
+}  // namespace
+
+TEST(PipelineVerify, FusedStreamAndReplayModesAreBitIdentical) {
+  // All three verify modes must agree exactly — same verdict, depth, counts
+  // and circuit — for every registered engine. kFused silently falls back to
+  // streaming for the routed baselines (they bypass LayerEmitter), which this
+  // sweep also exercises.
   const auto& pipeline = MapperPipeline::global();
   for (const auto& name : pipeline.engine_names()) {
     MapOptions base;
@@ -200,27 +240,41 @@ TEST(PipelineVerify, IncrementalAndReplayPathsAreBitIdentical) {
     base.satmap.time_budget_seconds = 60.0;
     const std::int32_t n = name == "satmap" ? 4 : (name == "sabre" ? 9 : 16);
 
+    MapOptions fused = base;
+    fused.verify_mode = VerifyMode::kFused;
     MapOptions streaming = base;
-    streaming.incremental_verify = true;
+    streaming.verify_mode = VerifyMode::kStream;
     MapOptions replay = base;
-    replay.incremental_verify = false;
+    replay.verify_mode = VerifyMode::kReplay;
 
-    const MapResult a = pipeline.run(name, n, streaming);
-    const MapResult b = pipeline.run(name, n, replay);
-    ASSERT_TRUE(a.check.ok) << name << ": " << a.check.error;
-    ASSERT_TRUE(b.check.ok) << name << ": " << b.check.error;
-    EXPECT_EQ(a.check.depth, b.check.depth) << name;
-    EXPECT_EQ(a.check.error, b.check.error) << name;
-    EXPECT_EQ(a.check.counts.h, b.check.counts.h) << name;
-    EXPECT_EQ(a.check.counts.cphase, b.check.counts.cphase) << name;
-    EXPECT_EQ(a.check.counts.swap, b.check.counts.swap) << name;
-    EXPECT_EQ(a.check.counts.cnot, b.check.counts.cnot) << name;
-    EXPECT_EQ(a.check.counts.total(), b.check.counts.total()) << name;
-    EXPECT_EQ(a.n, b.n) << name;
-    EXPECT_EQ(a.mapped.circuit.to_string(), b.mapped.circuit.to_string())
-        << name;
-    EXPECT_EQ(a.mapped.initial, b.mapped.initial) << name;
-    EXPECT_EQ(a.mapped.final_mapping, b.mapped.final_mapping) << name;
+    const MapResult f = pipeline.run(name, n, fused);
+    const MapResult s = pipeline.run(name, n, streaming);
+    const MapResult r = pipeline.run(name, n, replay);
+    expect_same_map_result(f, s, name + " fused-vs-stream");
+    expect_same_map_result(f, r, name + " fused-vs-replay");
+  }
+}
+
+TEST(PipelineVerify, FusedModeMatchesReplayAcrossSizes) {
+  // Acceptance sweep: per-engine bit-identical MapResults between the fused
+  // emitter audit and the pre-redesign replay checker on QFT-{16,64,256}.
+  // SATMAP is skipped (TLE territory at these sizes); SABRE pinned to one
+  // trial stays deterministic.
+  const auto& pipeline = MapperPipeline::global();
+  for (const std::int32_t n : {16, 64, 256}) {
+    for (const auto& name : pipeline.engine_names()) {
+      if (name == "satmap") continue;
+      if (name == "sabre" && n > 64) continue;  // routing time, not coverage
+      MapOptions fused;
+      fused.sabre.trials = 1;
+      fused.verify_mode = VerifyMode::kFused;
+      MapOptions replay = fused;
+      replay.verify_mode = VerifyMode::kReplay;
+      const MapResult f = pipeline.run(name, n, fused);
+      const MapResult r = pipeline.run(name, n, replay);
+      expect_same_map_result(f, r,
+                             name + " n=" + std::to_string(n));
+    }
   }
 }
 

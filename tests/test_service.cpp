@@ -443,7 +443,7 @@ TEST(ResultCache, KeyCoversEveryResultShapingKnob) {
   }
   {
     MapOptions o;
-    o.incremental_verify = false;
+    o.verify_mode = VerifyMode::kReplay;
     EXPECT_NE(ResultCache::key("lattice", 16, o), k);
   }
   // Every SATMAP field that shapes output must fragment the key — a stale

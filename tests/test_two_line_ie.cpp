@@ -15,21 +15,21 @@ namespace {
 struct IeHarness {
   CouplingGraph graph;
   QftState state;
-  std::vector<PhysicalQubit> line_a, line_b;
-  std::vector<CrossLink> links;
+  Line line_a, line_b;
+  std::vector<LayerEmitter::EdgeHandle> links;
   std::unique_ptr<LayerEmitter> em;
 
   IeHarness(CouplingGraph g, std::vector<PhysicalQubit> a,
             std::vector<PhysicalQubit> b, std::vector<CrossLink> l)
       : graph(std::move(g)),
-        state(static_cast<std::int32_t>(a.size() + b.size())),
-        line_a(std::move(a)),
-        line_b(std::move(b)),
-        links(std::move(l)) {
+        state(static_cast<std::int32_t>(a.size() + b.size())) {
     std::vector<PhysicalQubit> initial;
-    initial.insert(initial.end(), line_a.begin(), line_a.end());
-    initial.insert(initial.end(), line_b.begin(), line_b.end());
+    initial.insert(initial.end(), a.begin(), a.end());
+    initial.insert(initial.end(), b.begin(), b.end());
     em = std::make_unique<LayerEmitter>(graph, initial, state);
+    line_a = Line(*em, std::move(a));
+    line_b = Line(*em, std::move(b));
+    links = resolve_cross_links(*em, line_a, line_b, l);
     // Open every cross window: logicals of line A (the smaller indices) have
     // their H done; intra-A pairs marked done so can_self held.
     const std::int32_t na = static_cast<std::int32_t>(line_a.size());
