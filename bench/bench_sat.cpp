@@ -110,4 +110,47 @@ QFTO_SAT_BENCH(satmap_route_full, grid, 4, 6)
 
 #undef QFTO_SAT_BENCH
 
+// Portfolio racing family: the full production search decided by L
+// diversified cdcl lanes (L=1 is the bare incremental driver — the baseline
+// the +<10% wall-clock acceptance bar compares against). items = portfolio-
+// level probes, so items_per_second is probe throughput: the series the
+// perf-trend guard watches (satmap_portfolio_ prefix, loose threshold — a
+// single SAT search is noisy).
+void satmap_portfolio(benchmark::State& state, const char* kind,
+                      std::int32_t lanes) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const CouplingGraph g = arch_graph(kind, n);
+  SatmapResult last;
+  for (auto _ : state) {
+    SatmapOptions opts;
+    opts.time_budget_seconds = budget_seconds();
+    opts.portfolio = lanes > 1;
+    opts.lanes = lanes;
+    last = satmap_route(qft_logical(n), g, opts);
+  }
+  report(state, last);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          last.stats.solve_calls);
+}
+
+// Grid stops at 6 for the same reason satmap_route_full does: QFT-8 on the
+// 2x4 grid is TLE territory at the CI budget, and a budget-truncated SWAP
+// descent guards nothing stable.
+#define QFTO_SAT_PORTFOLIO_BENCH(arch, lanes, lo, hi)                    \
+  BENCHMARK_CAPTURE(satmap_portfolio, arch##_lanes##lanes, #arch, lanes) \
+      ->DenseRange(lo, hi, 2)                                            \
+      ->Iterations(1)                                                    \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->UseRealTime();
+
+QFTO_SAT_PORTFOLIO_BENCH(line, 1, 6, 8)
+QFTO_SAT_PORTFOLIO_BENCH(line, 2, 6, 8)
+QFTO_SAT_PORTFOLIO_BENCH(line, 4, 6, 8)
+QFTO_SAT_PORTFOLIO_BENCH(grid, 1, 6, 6)
+QFTO_SAT_PORTFOLIO_BENCH(grid, 2, 6, 6)
+QFTO_SAT_PORTFOLIO_BENCH(grid, 4, 6, 6)
+
+#undef QFTO_SAT_PORTFOLIO_BENCH
+
 }  // namespace

@@ -64,6 +64,7 @@
 #include "common/fault.hpp"
 #include "pipeline/mapper_pipeline.hpp"
 #include "qasm/qasm.hpp"
+#include "sat/federation/ipasir_bridge.hpp"
 #include "sat/solver_interface.hpp"
 #include "service/mapping_service.hpp"
 #include "service/net_server.hpp"
@@ -78,6 +79,8 @@ int usage(const char* argv0) {
       "usage: %s --arch ENGINE (--n N | --m M | --input FILE.qasm) "
       "[--out FILE] [--strict-ie] "
       "[--synced] [--trials T] [--budget SECONDS] [--solver BACKEND] "
+      "[--solver-plugin [NAME=]LIB.so] [--portfolio] [--lanes L] "
+      "[--linear-descent] "
       "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
       "[--quiet]\n       %s --serve [--threads T] [--cache-entries N] "
       "[--listen HOST:PORT] [--max-inflight N] [--max-pending N] "
@@ -139,8 +142,16 @@ int list_engines() {
 }
 
 int list_solvers() {
-  for (const auto& name : qfto::sat::solver_backend_names()) {
-    std::printf("%s\n", name.c_str());
+  // Provenance per backend so operators can audit what a replica loaded:
+  // built-ins against the binary, plugins against their shared-object path
+  // and IPASIR signature string.
+  for (const auto& row : qfto::sat::backend_provenance()) {
+    if (row.plugin) {
+      std::printf("%-14s plugin    %s  [%s]\n", row.name.c_str(),
+                  row.path.c_str(), row.signature.c_str());
+    } else {
+      std::printf("%-14s built-in\n", row.name.c_str());
+    }
   }
   return 0;
 }
@@ -156,6 +167,17 @@ int main(int argc, char** argv) {
   MappingService::Options service_opts;
   net::NetServer::Options net_opts;
   std::string listen_spec, cache_file;
+
+  // IPASIR plugins from the environment load before any argument acts (so
+  // `--solver`, `--list-solvers` and `--serve` all see them). A broken spec
+  // is an operator error — fail loudly, never map with a silently-missing
+  // backend.
+  try {
+    sat::load_solver_plugins_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "QFTO_SOLVER_PLUGINS: %s\n", e.what());
+    return 2;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -244,6 +266,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opts.satmap.solver = v;
+    } else if (a == "--solver-plugin") {
+      // Loaded immediately, so it works in front of --list-solvers and
+      // --solver on the same command line. Repeatable.
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      try {
+        sat::load_solver_plugin(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--solver-plugin: %s\n", e.what());
+        return 2;
+      }
+    } else if (a == "--portfolio") {
+      opts.satmap.portfolio = true;
+    } else if (a == "--lanes") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opts.satmap.lanes = std::atoi(v);
+      if (opts.satmap.lanes < 1) return usage(argv[0]);
+    } else if (a == "--linear-descent") {
+      opts.satmap.core_guided = false;
     } else if (a == "--monolithic-sat") {
       opts.satmap.incremental = false;
     } else if (a == "--dump-cnf") {
@@ -384,6 +426,10 @@ int main(int argc, char** argv) {
                     static_cast<long long>(result.timings.sat.decisions),
                     static_cast<long long>(result.timings.sat.restarts),
                     static_cast<long long>(result.timings.sat.solve_calls));
+        if (!result.timings.sat_winner.empty()) {
+          std::printf("portfolio win  : %s\n",
+                      result.timings.sat_winner.c_str());
+        }
       }
       if (sim_err >= 0) std::printf("simulation err : %.2e\n", sim_err);
       if (aqft > 0 || cnot_basis) {

@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "sat/cardinality.hpp"
+#include "sat/federation/portfolio.hpp"
 
 namespace qfto {
 
@@ -250,6 +251,26 @@ class Encoder {
   std::int32_t movers_layers_ = -1;
 };
 
+/// The probe solver: a bare registry backend, or — with portfolio racing on
+/// — N diversified lanes behind one PortfolioSolver, fed the identical
+/// encoding. Both drivers create their solvers through this one choke point
+/// so racing composes with either search strategy.
+std::unique_ptr<SolverInterface> make_search_solver(const SatmapOptions& opts) {
+  if (!opts.portfolio || opts.lanes <= 1) return sat::make_solver(opts.solver);
+  sat::PortfolioOptions popts;
+  popts.lanes = opts.lanes;
+  popts.backends = opts.portfolio_backends.empty()
+                       ? std::vector<std::string>{opts.solver}
+                       : opts.portfolio_backends;
+  return std::make_unique<sat::PortfolioSolver>(popts);
+}
+
+/// Winning-lane label for provenance; empty for non-portfolio solvers.
+std::string solver_winner(const SolverInterface& solver) {
+  const auto* pf = dynamic_cast<const sat::PortfolioSolver*>(&solver);
+  return pf != nullptr ? pf->winner() : std::string();
+}
+
 struct Extracted {
   MappedCircuit mapped;
   std::int64_t swaps = 0;
@@ -329,7 +350,7 @@ void route_monolithic(const SearchContext& ctx, SatmapResult& result) {
   // the remaining budget is measured after encoding, and an exhausted one
   // comes back as kTimeout instead of reaching the solver.
   const auto probe = [&](std::int32_t layers, std::int32_t swap_budget) {
-    last_solver = sat::make_solver(opts.solver);
+    last_solver = make_search_solver(opts);
     Encoder enc(*last_solver, ctx.logical, ctx.g, ctx.dag);
     enc.extend_to(layers);
     enc.require_horizon(layers);
@@ -340,6 +361,8 @@ void route_monolithic(const SearchContext& ctx, SatmapResult& result) {
             ? Result::kTimeout
             : last_solver->solve({}, remaining, opts.cancel);
     result.stats += last_solver->stats();
+    const std::string w = solver_winner(*last_solver);
+    if (!w.empty()) result.winner = w;
     return std::make_pair(
         r, r == Result::kSat
                ? extract(*last_solver, enc, ctx.logical, ctx.g, layers)
@@ -400,7 +423,7 @@ void route_monolithic(const SearchContext& ctx, SatmapResult& result) {
 /// rebuilt and thrown away.
 void route_incremental(const SearchContext& ctx, SatmapResult& result) {
   const SatmapOptions& opts = ctx.opts;
-  const std::unique_ptr<SolverInterface> solver = sat::make_solver(opts.solver);
+  const std::unique_ptr<SolverInterface> solver = make_search_solver(opts);
   Encoder enc(*solver, ctx.logical, ctx.g, ctx.dag);
   Lit active{-1};
   std::vector<Lit> assumptions;  // the in-flight probe's, for dump_cnf
@@ -441,16 +464,32 @@ void route_incremental(const SearchContext& ctx, SatmapResult& result) {
     if (opts.minimize_swaps && best.swaps > 0) {
       // A counter at the found horizon, wide enough for the first model's
       // SWAP count; every budget probe below is then a handful of
-      // assumptions. When the descent drops far below the current width
-      // (models often shed many SWAPs per probe), re-encode a narrower
-      // counter over the same cached move indicators — the wide one's
-      // registers are dead weight the solver would otherwise branch on.
+      // assumptions. When the feasible bound drops far below the current
+      // width (models often shed many SWAPs per probe), re-encode a
+      // narrower counter over the same cached move indicators — the wide
+      // one's registers are dead weight the solver would otherwise branch
+      // on. The narrow width always covers `hi`, so every future probe
+      // (budget <= hi-1) stays expressible.
+      //
+      // Core-guided descent (opts.core_guided): the minimum lives in
+      // [lo, hi] — `hi` feasible (best model), everything below `lo`
+      // refuted. Instead of stepping hi-1, hi-2, ... probe the midpoint,
+      // and commit every refutation as a *permanent* clause
+      // (¬active ∨ at_least[b]): the horizon provably needs > b SWAPs, so
+      // the learnt fact survives later probes — and on a portfolio run is
+      // immediately shared with every lane, not just the one that found
+      // it. The search stays complete, so the minimal SWAP count is
+      // unchanged; only the probe count shrinks (O(log) vs O(n) when the
+      // first model is far from optimal).
       std::int32_t width = static_cast<std::int32_t>(best.swaps);
       std::vector<Lit> at_least = enc.swap_outputs(layers, width);
-      std::int64_t budget = best.swaps - 1;
-      while (budget >= 0 && !ctx.deadline.expired() && !ctx.cancelled()) {
-        if (2 * (budget + 1) <= width) {
-          width = static_cast<std::int32_t>(budget + 1);
+      std::int64_t lo = 0;            // minimum is known to be >= lo
+      std::int64_t hi = best.swaps;   // feasible: best realizes hi
+      while (lo < hi && !ctx.deadline.expired() && !ctx.cancelled()) {
+        const std::int64_t budget =
+            opts.core_guided ? lo + (hi - 1 - lo) / 2 : hi - 1;
+        if (2 * hi <= width) {
+          width = static_cast<std::int32_t>(hi);
           at_least = enc.swap_outputs(layers, width);
         }
         // Assume the whole upper output chain false, not just ~s_budget:
@@ -469,9 +508,16 @@ void route_incremental(const SearchContext& ctx, SatmapResult& result) {
           break;  // keep the depth-minimal schedule found
         }
         const Result r2 = solver->solve(assumptions, rem2, opts.cancel);
-        if (r2 != Result::kSat) break;
-        best = extract(*solver, enc, ctx.logical, ctx.g, layers);
-        budget = best.swaps - 1;
+        if (r2 == Result::kSat) {
+          best = extract(*solver, enc, ctx.logical, ctx.g, layers);
+          hi = best.swaps;
+        } else if (r2 == Result::kUnsat) {
+          lo = budget + 1;
+          solver->add_clause(
+              {~active, at_least[static_cast<std::int32_t>(budget)]});
+        } else {
+          break;  // timeout/cancel: keep the best schedule found
+        }
       }
     }
     result.mapped = std::move(best.mapped);
@@ -479,6 +525,7 @@ void route_incremental(const SearchContext& ctx, SatmapResult& result) {
     break;
   }
   result.stats = solver->stats();
+  result.winner = solver_winner(*solver);
   if (!opts.dump_cnf_path.empty() &&
       !solver->dump_dimacs(opts.dump_cnf_path, assumptions)) {
     std::fprintf(stderr, "satmap: cannot write CNF dump to '%s'\n",
@@ -517,6 +564,7 @@ SatmapResult satmap_route(const Circuit& logical, const CouplingGraph& g,
   }
   result.seconds = timer.seconds();
   if (opts.stats_out != nullptr) *opts.stats_out = result.stats;
+  if (opts.winner_out != nullptr) *opts.winner_out = result.winner;
   return result;
 }
 

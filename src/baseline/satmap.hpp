@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "arch/coupling_graph.hpp"
 #include "circuit/circuit.hpp"
@@ -50,6 +51,31 @@ struct SatmapOptions {
   /// and benchmarks.
   bool incremental = true;
 
+  /// Race each probe across `lanes` diversified solver instances — the
+  /// first definitive verdict wins and cancels the sibling lanes
+  /// (src/sat/federation/portfolio.hpp). Verdicts, minimal T and minimal
+  /// SWAP count are identical to a single-backend run; which lane decides
+  /// each probe (and therefore which of the equally-optimal schedules is
+  /// extracted) is wall-clock dependent. The effective lane count is
+  /// clamped to the machine's hardware concurrency — racing more lanes
+  /// than cores only time-slices them against one another.
+  bool portfolio = false;
+  std::int32_t lanes = 2;
+
+  /// Backends spread round-robin across portfolio lanes; empty -> every
+  /// lane runs `solver`, told apart by diversification seeds.
+  std::vector<std::string> portfolio_backends;
+
+  /// Core-guided SWAP descent (incremental driver only): bisect the budget
+  /// between the learnt infeasibility bound and the best model instead of
+  /// decrementing by one, committing every UNSAT probe as a permanent
+  /// lower-bound clause — with a portfolio, the winning lane's refutation
+  /// is immediately shared with every other lane. Same minimal SWAP count
+  /// (the search stays complete); fewer probes when the first model is far
+  /// from optimal. The monolithic driver ignores this and keeps the
+  /// paper-faithful decrement loop as the differential oracle.
+  bool core_guided = true;
+
   /// Cooperative cancellation: when non-null, satmap_route polls the flag
   /// between deepening layers and the solver polls it inside the search
   /// loop, so another thread flipping it true aborts the run within a few
@@ -66,6 +92,10 @@ struct SatmapOptions {
   /// numbers as SatmapResult::stats). Serving knob the pipeline uses to
   /// surface stats into MapResult::timings without widening MapperEngine.
   sat::SolverStats* stats_out = nullptr;
+
+  /// When non-null, receives SatmapResult::winner (see there). Serving
+  /// knob, mirroring stats_out.
+  std::string* winner_out = nullptr;
 };
 
 struct SatmapResult {
@@ -77,8 +107,12 @@ struct SatmapResult {
   std::int64_t swaps = 0;
   double seconds = 0.0;
   /// Cumulative search effort across every probe (deepening + SWAP
-  /// minimization), summed over solver instances on the monolithic path.
+  /// minimization), summed over solver instances on the monolithic path —
+  /// and over every racing lane (losers included) on a portfolio run.
   sat::SolverStats stats;
+  /// Portfolio runs: label of the lane that decided the last definitive
+  /// probe ("cdcl#1"). Empty for single-backend runs.
+  std::string winner;
 };
 
 /// Routes an arbitrary logical circuit; dependencies are its strict DAG.

@@ -1,0 +1,57 @@
+// The IPASIR C ABI surface (the incremental-SAT interface standardized by
+// the solver competitions: Re-entrant Incremental Satisfiability Application
+// Program Interface, spelled backwards). Two consumers share these types:
+//
+//  * the dlopen bridge (ipasir_bridge.cpp) resolves the symbols out of an
+//    external shared object and adapts them to sat::SolverInterface;
+//  * the in-tree shim (ipasir_stub.cpp) *implements* them over the "cdcl"
+//    backend, compiled as libqfto_ipasir_stub.so, so the bridge is exercised
+//    end-to-end with zero external dependencies.
+//
+// Only the core surface is required here; ipasir_set_learn is optional on
+// purpose (several deployed solvers ship without a useful implementation).
+//
+// State machine (per the official header): after init the solver is in
+// INPUT; add/assume keep it there; solve moves it to SAT (returns 10),
+// UNSAT (20) or leaves INPUT on interrupt (0); val/failed are only valid in
+// SAT/UNSAT respectively. Literals are non-zero DIMACS-style signed ints.
+#pragma once
+
+#include <cstdint>
+
+namespace qfto::sat {
+
+using IpasirSignatureFn = const char* (*)();
+using IpasirInitFn = void* (*)();
+using IpasirReleaseFn = void (*)(void*);
+using IpasirAddFn = void (*)(void*, std::int32_t);
+using IpasirAssumeFn = void (*)(void*, std::int32_t);
+using IpasirSolveFn = int (*)(void*);
+using IpasirValFn = std::int32_t (*)(void*, std::int32_t);
+using IpasirFailedFn = int (*)(void*, std::int32_t);
+using IpasirTerminateCallback = int (*)(void*);
+using IpasirSetTerminateFn = void (*)(void*, void*, IpasirTerminateCallback);
+using IpasirLearnCallback = void (*)(void*, std::int32_t*);
+using IpasirSetLearnFn = void (*)(void*, void*, int, IpasirLearnCallback);
+
+/// ipasir_solve return codes.
+enum : int { kIpasirSat = 10, kIpasirUnsat = 20, kIpasirInterrupted = 0 };
+
+/// Resolved function-pointer table of one IPASIR library. The table is
+/// copied into every solver instance; the shared object behind it is never
+/// unloaded (registered factories keep executing its code), so the pointers
+/// stay valid for the process lifetime.
+struct IpasirApi {
+  IpasirSignatureFn signature = nullptr;
+  IpasirInitFn init = nullptr;
+  IpasirReleaseFn release = nullptr;
+  IpasirAddFn add = nullptr;
+  IpasirAssumeFn assume = nullptr;
+  IpasirSolveFn solve = nullptr;
+  IpasirValFn val = nullptr;
+  IpasirFailedFn failed = nullptr;
+  IpasirSetTerminateFn set_terminate = nullptr;
+  IpasirSetLearnFn set_learn = nullptr;  // optional
+};
+
+}  // namespace qfto::sat

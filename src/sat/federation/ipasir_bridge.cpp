@@ -1,0 +1,256 @@
+#include "sat/federation/ipasir_bridge.hpp"
+
+#include <dlfcn.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace qfto::sat {
+
+namespace {
+
+/// Plugin book-keeping: provenance rows plus the dlopen handles, kept for
+/// the process lifetime so registered factories (whose code lives inside
+/// the mapped objects) never dangle. Reachability from this static also
+/// keeps leak checkers quiet about the handles.
+struct PluginTable {
+  std::mutex mutex;
+  std::map<std::string, BackendProvenance> by_name;
+  std::vector<void*> handles;
+};
+
+PluginTable& plugin_table() {
+  static PluginTable t;
+  return t;
+}
+
+/// `libfoo.so.5.1` -> "foo"; `./bar.so` -> "bar"; fallback: the whole stem.
+std::string derive_backend_name(const std::string& path) {
+  std::string stem = path;
+  const auto slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const auto so = stem.find(".so");
+  if (so != std::string::npos) {
+    stem = stem.substr(0, so);
+  } else {
+    const auto dot = stem.find_last_of('.');
+    if (dot != std::string::npos) stem = stem.substr(0, dot);
+  }
+  if (stem.rfind("lib", 0) == 0) stem = stem.substr(3);
+  return stem;
+}
+
+template <typename Fn>
+void resolve(void* handle, const char* symbol, Fn& out, std::string& missing) {
+  // The two-step cast silences the object/function pointer aliasing warning
+  // the POSIX dlsym interface forces on everyone.
+  void* sym = dlsym(handle, symbol);
+  if (sym == nullptr) {
+    if (!missing.empty()) missing += ", ";
+    missing += symbol;
+    return;
+  }
+  out = reinterpret_cast<Fn>(reinterpret_cast<std::uintptr_t>(sym));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ plugin load --
+
+std::string load_solver_plugin(const std::string& spec) {
+  std::string name, path;
+  const auto eq = spec.find('=');
+  if (eq != std::string::npos) {
+    name = spec.substr(0, eq);
+    path = spec.substr(eq + 1);
+  } else {
+    path = spec;
+  }
+  if (path.empty()) {
+    throw std::runtime_error("ipasir: empty plugin path in spec '" + spec +
+                             "'");
+  }
+
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    throw std::runtime_error("ipasir: cannot load '" + path +
+                             "': " + (err != nullptr ? err : "dlopen failed"));
+  }
+
+  IpasirApi api;
+  std::string missing;
+  resolve(handle, "ipasir_signature", api.signature, missing);
+  resolve(handle, "ipasir_init", api.init, missing);
+  resolve(handle, "ipasir_release", api.release, missing);
+  resolve(handle, "ipasir_add", api.add, missing);
+  resolve(handle, "ipasir_assume", api.assume, missing);
+  resolve(handle, "ipasir_solve", api.solve, missing);
+  resolve(handle, "ipasir_val", api.val, missing);
+  resolve(handle, "ipasir_failed", api.failed, missing);
+  resolve(handle, "ipasir_set_terminate", api.set_terminate, missing);
+  if (!missing.empty()) {
+    dlclose(handle);
+    throw std::runtime_error("ipasir: '" + path +
+                             "' is not an IPASIR library (missing: " +
+                             missing + ")");
+  }
+  std::string ignored;
+  resolve(handle, "ipasir_set_learn", api.set_learn, ignored);  // optional
+
+  const char* sig = api.signature();
+  if (name.empty()) name = derive_backend_name(path);
+  if (name.empty()) {
+    dlclose(handle);
+    throw std::runtime_error("ipasir: cannot derive a backend name from '" +
+                             path + "' — use name=path");
+  }
+
+  register_solver_backend(name, [name, api] {
+    return std::unique_ptr<SolverInterface>(
+        std::make_unique<IpasirSolver>(name, api));
+  });
+
+  PluginTable& t = plugin_table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  t.handles.push_back(handle);  // never dlclose'd; see header
+  BackendProvenance& row = t.by_name[name];
+  row.name = name;
+  row.plugin = true;
+  row.path = path;
+  row.signature = sig != nullptr ? sig : "";
+  return name;
+}
+
+std::vector<std::string> load_solver_plugins_from_env() {
+  std::vector<std::string> loaded;
+  const char* env = std::getenv("QFTO_SOLVER_PLUGINS");
+  if (env == nullptr) return loaded;
+  std::string specs(env);
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t end = specs.find(':', start);
+    if (end == std::string::npos) end = specs.size();
+    const std::string spec = specs.substr(start, end - start);
+    if (!spec.empty()) loaded.push_back(load_solver_plugin(spec));
+    start = end + 1;
+  }
+  return loaded;
+}
+
+std::vector<BackendProvenance> backend_provenance() {
+  std::vector<BackendProvenance> rows;
+  PluginTable& t = plugin_table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  for (const std::string& name : solver_backend_names()) {
+    const auto it = t.by_name.find(name);
+    if (it != t.by_name.end()) {
+      rows.push_back(it->second);
+    } else {
+      BackendProvenance row;
+      row.name = name;
+      rows.push_back(row);
+    }
+  }
+  return rows;  // solver_backend_names() is already sorted
+}
+
+// ------------------------------------------------------------ the adapter --
+
+IpasirSolver::IpasirSolver(std::string name, const IpasirApi& api)
+    : name_(std::move(name)), api_(api) {
+  solver_ = api_.init();
+  if (solver_ == nullptr) {
+    throw std::runtime_error("ipasir: " + name_ + ": ipasir_init failed");
+  }
+}
+
+IpasirSolver::~IpasirSolver() {
+  if (solver_ != nullptr) api_.release(solver_);
+}
+
+std::int32_t IpasirSolver::new_var() {
+  // IPASIR has no explicit variable creation — variables exist by use. The
+  // bridge only tracks the count so assumption/model sanity checks work.
+  return num_vars_++;
+}
+
+namespace {
+std::int32_t to_dimacs(Lit l) {
+  return l.sign() ? -(l.var() + 1) : (l.var() + 1);
+}
+}  // namespace
+
+void IpasirSolver::add_clause(std::vector<Lit> lits) {
+  for (const Lit l : lits) {
+    require(l.var() >= 0 && l.var() < num_vars_, "ipasir: unknown literal");
+    api_.add(solver_, to_dimacs(l));
+  }
+  api_.add(solver_, 0);
+  if (lits.empty()) root_unsat_ = true;
+  clauses_.push_back(std::move(lits));
+}
+
+Result IpasirSolver::solve(const std::vector<Lit>& assumptions,
+                           double budget_seconds,
+                           const std::atomic<bool>* cancel) {
+  ++stats_.solve_calls;
+  struct TerminateCtx {
+    Deadline deadline;
+    const std::atomic<bool>* cancel;
+  } ctx{Deadline(budget_seconds), cancel};
+  api_.set_terminate(solver_, &ctx, [](void* data) -> int {
+    const auto* c = static_cast<const TerminateCtx*>(data);
+    const bool stop =
+        (c->cancel != nullptr && c->cancel->load(std::memory_order_relaxed)) ||
+        c->deadline.expired();
+    return stop ? 1 : 0;
+  });
+  for (const Lit a : assumptions) {
+    require(a.var() >= 0 && a.var() < num_vars_,
+            "ipasir: unknown assumption");
+    api_.assume(solver_, to_dimacs(a));
+  }
+  const int r = api_.solve(solver_);
+  // Drop the callback before `ctx` goes out of scope — a solver is allowed
+  // to invoke it from later calls otherwise.
+  api_.set_terminate(solver_, nullptr, nullptr);
+  switch (r) {
+    case kIpasirSat:
+      return Result::kSat;
+    case kIpasirUnsat:
+      return Result::kUnsat;
+    default:
+      return Result::kTimeout;
+  }
+}
+
+bool IpasirSolver::value(std::int32_t var) const {
+  require(var >= 0 && var < num_vars_, "ipasir: unknown variable");
+  return api_.val(solver_, var + 1) > 0;
+}
+
+SolverStats IpasirSolver::stats() const {
+  SolverStats s = stats_;
+  s.clauses = static_cast<std::int64_t>(clauses_.size());
+  s.vars = num_vars_;
+  return s;
+}
+
+void IpasirSolver::dump_dimacs(std::ostream& out,
+                               const std::vector<Lit>& extra_units) const {
+  std::vector<const std::vector<Lit>*> ptrs;
+  ptrs.reserve(clauses_.size());
+  for (const auto& c : clauses_) ptrs.push_back(&c);
+  write_dimacs(out, name_, root_unsat_, num_vars_, nullptr, 0, ptrs,
+               extra_units);
+}
+
+}  // namespace qfto::sat

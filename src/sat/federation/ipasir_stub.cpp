@@ -1,0 +1,119 @@
+// In-tree IPASIR shim over the "cdcl" backend, compiled as a standalone
+// shared object (libqfto_ipasir_stub.so) and *not* part of the qfto library:
+// its whole purpose is to be dlopen'ed back through the federation bridge so
+// the plugin path — symbol resolution, DIMACS literal translation,
+// ipasir_set_terminate cancellation — is exercised end-to-end with zero
+// external dependencies. The conformance battery (test_sat_backends) runs
+// the full SolverInterface contract against it, and CI loads it on every
+// leg, sanitizers included.
+//
+// Built with hidden visibility: only the extern "C" ipasir_* surface is
+// exported, so the private copies of the qfto::sat classes inside the .so
+// can never clash with the host binary's own (RTLD_LOCAL on the bridge side
+// closes the other half of that door).
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "sat/federation/ipasir.hpp"
+#include "sat/solver.hpp"
+
+#define QFTO_IPASIR_EXPORT __attribute__((visibility("default")))
+
+namespace {
+
+using qfto::sat::Lit;
+using qfto::sat::Result;
+
+struct StubSolver {
+  qfto::sat::Solver solver;
+  std::vector<Lit> clause;       // literals buffered until the closing 0
+  std::vector<Lit> assumptions;  // consumed by the next ipasir_solve
+
+  /// DIMACS literal -> internal Lit, growing the variable space on demand
+  /// (IPASIR variables exist by use).
+  Lit lit_from(std::int32_t dimacs) {
+    const std::int32_t v = std::abs(dimacs) - 1;
+    while (solver.num_vars() <= v) solver.new_var();
+    return dimacs > 0 ? Lit::pos(v) : Lit::neg(v);
+  }
+};
+
+StubSolver* stub(void* s) { return static_cast<StubSolver*>(s); }
+
+}  // namespace
+
+extern "C" {
+
+QFTO_IPASIR_EXPORT const char* ipasir_signature() {
+  return "qfto-cdcl-ipasir-stub-1.0";
+}
+
+QFTO_IPASIR_EXPORT void* ipasir_init() { return new StubSolver; }
+
+QFTO_IPASIR_EXPORT void ipasir_release(void* s) { delete stub(s); }
+
+QFTO_IPASIR_EXPORT void ipasir_add(void* s, std::int32_t lit_or_zero) {
+  StubSolver* st = stub(s);
+  if (lit_or_zero == 0) {
+    st->solver.add_clause(st->clause);
+    st->clause.clear();
+  } else {
+    st->clause.push_back(st->lit_from(lit_or_zero));
+  }
+}
+
+QFTO_IPASIR_EXPORT void ipasir_assume(void* s, std::int32_t lit) {
+  StubSolver* st = stub(s);
+  st->assumptions.push_back(st->lit_from(lit));
+}
+
+QFTO_IPASIR_EXPORT int ipasir_solve(void* s) {
+  StubSolver* st = stub(s);
+  const std::vector<Lit> assumptions = std::move(st->assumptions);
+  st->assumptions.clear();
+  // No budget, no cancel atomic: interruption arrives exclusively through
+  // the ipasir_set_terminate hook, exactly like an external solver.
+  switch (st->solver.solve(assumptions, 0.0, nullptr)) {
+    case Result::kSat:
+      return qfto::sat::kIpasirSat;
+    case Result::kUnsat:
+      return qfto::sat::kIpasirUnsat;
+    case Result::kTimeout:
+      break;
+  }
+  return qfto::sat::kIpasirInterrupted;
+}
+
+QFTO_IPASIR_EXPORT std::int32_t ipasir_val(void* s, std::int32_t lit) {
+  StubSolver* st = stub(s);
+  const std::int32_t v = std::abs(lit) - 1;
+  if (v < 0 || v >= st->solver.num_vars()) return 0;
+  const bool truth = st->solver.value(v);
+  return truth == (lit > 0) ? lit : -lit;
+}
+
+QFTO_IPASIR_EXPORT int ipasir_failed(void* /*s*/, std::int32_t /*lit*/) {
+  // The backend keeps no assumption cores; "every assumption was used" is
+  // the sound conservative answer the spec allows.
+  return 1;
+}
+
+QFTO_IPASIR_EXPORT void ipasir_set_terminate(
+    void* s, void* data, qfto::sat::IpasirTerminateCallback terminate) {
+  StubSolver* st = stub(s);
+  if (terminate == nullptr) {
+    st->solver.set_terminate(nullptr);
+  } else {
+    st->solver.set_terminate([data, terminate] { return terminate(data) != 0; });
+  }
+}
+
+QFTO_IPASIR_EXPORT void ipasir_set_learn(void* /*s*/, void* /*data*/,
+                                         int /*max_length*/,
+                                         qfto::sat::IpasirLearnCallback
+                                         /*learn*/) {
+  // Accepted and ignored: the stub exports no learnt clauses.
+}
+
+}  // extern "C"

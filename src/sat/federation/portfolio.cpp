@@ -1,0 +1,306 @@
+#include "sat/federation/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace qfto::sat {
+
+namespace {
+
+struct GlobalCounters {
+  std::mutex mutex;
+  PortfolioCounters counters;
+};
+
+GlobalCounters& global_counters() {
+  static GlobalCounters g;
+  return g;
+}
+
+}  // namespace
+
+PortfolioCounters portfolio_counters() {
+  GlobalCounters& g = global_counters();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.counters;
+}
+
+void reset_portfolio_counters() {
+  GlobalCounters& g = global_counters();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.counters = PortfolioCounters{};
+}
+
+// ------------------------------------------------------------------ state --
+
+struct PortfolioSolver::Lane {
+  std::string backend;  // registry key
+  std::string label;    // "cdcl#1"
+  std::unique_ptr<SolverInterface> solver;
+  /// The lane's cooperative-cancel token: flipped by the winning sibling,
+  /// by an external caller cancel, or at shutdown. Same mechanism the
+  /// serving layer aborts deadline-blown jobs with.
+  std::atomic<bool> interrupt{false};
+  std::int64_t wins = 0;      // guarded by Shared::mutex
+  std::int64_t delay_us = 0;  // this generation's stagger; same guard
+  std::thread thread;
+};
+
+struct PortfolioSolver::Shared {
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;  // lanes park here between probes
+  std::condition_variable done_cv;  // solve() waits for the last lane here
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+  const std::vector<Lit>* assumptions = nullptr;
+  double budget = 0.0;
+  std::int32_t running = 0;
+  std::int32_t winner = -1;  // of the current generation
+  Result verdict = Result::kTimeout;
+  std::int64_t cancellations = 0;  // cumulative, this instance
+  std::int64_t stagger_us = 0;
+};
+
+PortfolioSolver::PortfolioSolver(const PortfolioOptions& opts)
+    : shared_(std::make_unique<Shared>()) {
+  std::int32_t lanes = std::max<std::int32_t>(1, opts.lanes);
+  if (opts.clamp_to_cores) {
+    const auto hw =
+        static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    if (hw > 0) lanes = std::min(lanes, hw);
+  }
+  std::vector<std::string> backends = opts.backends;
+  if (backends.empty()) backends.emplace_back("cdcl");
+  shared_->stagger_us = std::max<std::int64_t>(0, opts.stagger_us);
+  for (std::int32_t i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->backend = backends[static_cast<std::size_t>(i) % backends.size()];
+    lane->label = lane->backend + "#" + std::to_string(i);
+    lane->solver = make_solver(lane->backend);
+    // Lane 0 keeps the backend's deterministic default so a 1-lane
+    // portfolio is bit-identical to the bare backend.
+    if (i > 0) lane->solver->diversify(opts.seed + static_cast<std::uint64_t>(i));
+    lanes_.push_back(std::move(lane));
+  }
+  for (std::int32_t i = 0; i < lanes; ++i) {
+    lanes_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { lane_main(i); });
+  }
+}
+
+PortfolioSolver::~PortfolioSolver() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->shutdown = true;
+  }
+  shared_->work_cv.notify_all();
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+// -------------------------------------------------------------- lane loop --
+
+void PortfolioSolver::lane_main(std::int32_t index) {
+  Lane& lane = *lanes_[static_cast<std::size_t>(index)];
+  Shared& sh = *shared_;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(sh.mutex);
+  for (;;) {
+    sh.work_cv.wait(lock, [&] { return sh.shutdown || sh.generation != seen; });
+    if (sh.shutdown) return;
+    seen = sh.generation;
+    const std::vector<Lit>* assumptions = sh.assumptions;
+    const double budget = sh.budget;
+    const std::int64_t delay_us = lane.delay_us;
+    lock.unlock();
+
+    // Serve the head start in small slices so a cancel arriving during the
+    // stagger is honored promptly.
+    for (std::int64_t waited = 0;
+         waited < delay_us &&
+         !lane.interrupt.load(std::memory_order_relaxed);
+         waited += 50) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    Result r = Result::kTimeout;
+    const bool skipped = lane.interrupt.load(std::memory_order_relaxed);
+    if (!skipped) {
+      r = lane.solver->solve(*assumptions, budget, &lane.interrupt);
+    }
+
+    lock.lock();
+    const bool definitive = r == Result::kSat || r == Result::kUnsat;
+    if (definitive && sh.winner < 0) {
+      sh.winner = index;
+      sh.verdict = r;
+      ++lane.wins;
+      for (auto& other : lanes_) {
+        if (other.get() != &lane) {
+          other->interrupt.store(true, std::memory_order_relaxed);
+        }
+      }
+    } else if (!definitive && sh.winner >= 0) {
+      // Interrupted mid-solve (or skipped outright) because a sibling
+      // already decided the probe — the racing win being measured.
+      ++sh.cancellations;
+    }
+    if (--sh.running == 0) sh.done_cv.notify_all();
+  }
+}
+
+// ------------------------------------------------------ interface surface --
+
+std::string PortfolioSolver::name() const {
+  std::string out = "portfolio[";
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += lanes_[i]->label;
+  }
+  return out + "]";
+}
+
+std::int32_t PortfolioSolver::new_var() {
+  const std::int32_t v = lanes_[0]->solver->new_var();
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    const std::int32_t vi = lanes_[i]->solver->new_var();
+    require(vi == v, "portfolio: lanes drifted on variable numbering");
+  }
+  return v;
+}
+
+std::int32_t PortfolioSolver::num_vars() const {
+  return lanes_[0]->solver->num_vars();
+}
+
+void PortfolioSolver::add_clause(std::vector<Lit> lits) {
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    lanes_[i]->solver->add_clause(lits);
+  }
+  lanes_[0]->solver->add_clause(std::move(lits));
+}
+
+Result PortfolioSolver::solve(const std::vector<Lit>& assumptions,
+                              double budget_seconds,
+                              const std::atomic<bool>* cancel) {
+  ++solve_calls_;
+  Shared& sh = *shared_;
+  std::int64_t cancelled_this_probe = 0;
+  std::int32_t winner = -1;
+  Result verdict = Result::kTimeout;
+  {
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    const std::int64_t cancellations_before = sh.cancellations;
+
+    // Bandit-style lane ordering: rank by wins so far (stable on ties), the
+    // historically-best lane starts first and rank r waits r*stagger.
+    std::vector<std::size_t> order(lanes_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return lanes_[a]->wins > lanes_[b]->wins;
+                     });
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      Lane& lane = *lanes_[order[rank]];
+      lane.delay_us = static_cast<std::int64_t>(rank) * sh.stagger_us;
+      lane.interrupt.store(false, std::memory_order_relaxed);
+    }
+
+    sh.assumptions = &assumptions;
+    sh.budget = budget_seconds;
+    sh.winner = -1;
+    sh.verdict = Result::kTimeout;
+    sh.running = static_cast<std::int32_t>(lanes_.size());
+    ++sh.generation;
+    sh.work_cv.notify_all();
+
+    // The winner's verdict arrives through the shared state; this thread
+    // only has to keep forwarding an external cancel to the lanes (the
+    // polling interval bounds cancel latency, nothing else). Without a
+    // token there is nothing to forward, so wait without waking.
+    while (sh.running > 0) {
+      if (cancel == nullptr) {
+        sh.done_cv.wait(lock, [&] { return sh.running == 0; });
+        break;
+      }
+      sh.done_cv.wait_for(lock, std::chrono::milliseconds(2));
+      if (cancel->load(std::memory_order_relaxed)) {
+        for (auto& lane : lanes_) {
+          lane->interrupt.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    winner = sh.winner;
+    verdict = winner >= 0 ? sh.verdict : Result::kTimeout;
+    if (winner >= 0) {
+      last_winner_ = winner;
+      ever_won_ = true;
+    }
+    sh.assumptions = nullptr;
+    cancelled_this_probe = sh.cancellations - cancellations_before;
+  }
+
+  GlobalCounters& g = global_counters();
+  std::lock_guard<std::mutex> glock(g.mutex);
+  ++g.counters.races;
+  g.counters.lane_cancellations += cancelled_this_probe;
+  if (winner >= 0) {
+    ++g.counters
+          .wins_by_backend[lanes_[static_cast<std::size_t>(winner)]->backend];
+  }
+  return verdict;
+}
+
+bool PortfolioSolver::value(std::int32_t var) const {
+  return lanes_[static_cast<std::size_t>(last_winner_)]->solver->value(var);
+}
+
+SolverStats PortfolioSolver::stats() const {
+  SolverStats total;
+  for (const auto& lane : lanes_) {
+    const SolverStats s = lane->solver->stats();
+    total.conflicts += s.conflicts;
+    total.decisions += s.decisions;
+    total.propagations += s.propagations;
+    total.restarts += s.restarts;
+  }
+  total.solve_calls = solve_calls_;
+  const SolverStats s0 = lanes_[0]->solver->stats();
+  total.clauses = s0.clauses;
+  total.vars = s0.vars;
+  return total;
+}
+
+void PortfolioSolver::dump_dimacs(std::ostream& out,
+                                  const std::vector<Lit>& extra_units) const {
+  lanes_[0]->solver->dump_dimacs(out, extra_units);
+}
+
+void PortfolioSolver::diversify(std::uint64_t seed) {
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    lanes_[i]->solver->diversify(seed + static_cast<std::uint64_t>(i));
+  }
+}
+
+std::string PortfolioSolver::winner() const {
+  if (!ever_won_) return "";
+  return lanes_[static_cast<std::size_t>(last_winner_)]->label;
+}
+
+std::int64_t PortfolioSolver::lane_cancellations() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->cancellations;
+}
+
+std::int32_t PortfolioSolver::num_lanes() const {
+  return static_cast<std::int32_t>(lanes_.size());
+}
+
+}  // namespace qfto::sat

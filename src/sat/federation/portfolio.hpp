@@ -1,0 +1,130 @@
+// Portfolio racer: one SolverInterface that fans every clause out to N
+// diversified backend lanes and races them on each solve() — the first lane
+// returning a definitive verdict (kSat/kUnsat) wins the probe and cancels
+// its siblings through per-lane cooperative-cancel atomics, the same
+// mechanism the serving layer uses for deadline aborts. Racing changes
+// wall-clock, never answers: every lane decides the same formula, so the
+// verdict (and SATMAP's minimal T / minimal SWAP count downstream) is
+// bit-identical to a single-backend run. Which lane answers first — and
+// therefore which satisfying model is extracted — is wall-clock dependent;
+// that is the documented determinism caveat.
+//
+// Scheduling: lanes are ranked by their win count so far (the bandit-style
+// lane-ordering heuristic) and rank r starts its solve r*stagger_us after
+// rank 0 — easy probes are decided by the historically-best lane before the
+// others spin up, hard probes get the full portfolio. Lane threads are
+// persistent: spawned once at construction, parked on a condition variable
+// between probes, joined at destruction.
+//
+// Threading contract: the PortfolioSolver itself is single-caller, like
+// every SolverInterface — new_var/add_clause/solve/value from one thread.
+// solve() returns only after ALL lanes left their inner solve (losers
+// included), so a subsequent add_clause can never race a still-running
+// lane.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/solver_interface.hpp"
+
+namespace qfto::sat {
+
+struct PortfolioOptions {
+  /// Number of racing lanes. 1 degenerates to a pass-through wrapper.
+  std::int32_t lanes = 2;
+  /// Backends spread round-robin across lanes (lane i runs
+  /// backends[i % size]); empty -> every lane runs "cdcl". Lanes running
+  /// the same backend are told apart by their diversify() seed.
+  std::vector<std::string> backends;
+  /// Base of the per-lane diversify() seed (lane i gets seed + i; lane 0
+  /// keeps the backend's deterministic default so a 1-lane portfolio is
+  /// bit-identical to the bare backend).
+  std::uint64_t seed = 0x9f07'83a5'21c4'6e01ULL;
+  /// Head start: rank r waits r * stagger_us before starting its solve.
+  /// 0 disables staggering (pure simultaneous racing).
+  std::int64_t stagger_us = 200;
+  /// Cap the effective lane count at the machine's hardware concurrency.
+  /// Racing more lanes than cores is pure waste — the lanes time-slice one
+  /// another and wall-clock degrades toward lanes * single-lane instead of
+  /// best-lane — so production keeps this on; tests that must exercise real
+  /// multi-lane racing regardless of the runner's core count turn it off.
+  /// Verdicts are lane-count independent either way.
+  bool clamp_to_cores = true;
+};
+
+/// Process-wide racing counters, surfaced in the serve /metrics JSON.
+struct PortfolioCounters {
+  std::int64_t races = 0;              // portfolio solve() calls
+  std::int64_t lane_cancellations = 0; // losing lanes interrupted or skipped
+  std::map<std::string, std::int64_t> wins_by_backend;
+};
+
+/// Snapshot of the cumulative counters (all PortfolioSolver instances).
+PortfolioCounters portfolio_counters();
+
+/// Test hook: zero the process-wide counters.
+void reset_portfolio_counters();
+
+class PortfolioSolver final : public SolverInterface {
+ public:
+  explicit PortfolioSolver(const PortfolioOptions& opts = {});
+  ~PortfolioSolver() override;
+
+  PortfolioSolver(const PortfolioSolver&) = delete;
+  PortfolioSolver& operator=(const PortfolioSolver&) = delete;
+
+  /// "portfolio[cdcl#0,dpll#1]" — not a registry key; portfolios are
+  /// assembled per-run from SatmapOptions, never registered.
+  std::string name() const override;
+
+  std::int32_t new_var() override;
+  std::int32_t num_vars() const override;
+  void add_clause(std::vector<Lit> lits) override;
+
+  Result solve(const std::vector<Lit>& assumptions,
+               double budget_seconds = 0.0,
+               const std::atomic<bool>* cancel = nullptr) override;
+
+  /// Model access after kSat: reads the winning lane's model.
+  bool value(std::int32_t var) const override;
+
+  /// Search effort summed across every lane (losers' work included —
+  /// that's the real cost of racing); clauses/vars from lane 0 (identical
+  /// everywhere); solve_calls counts portfolio-level probes.
+  SolverStats stats() const override;
+
+  void dump_dimacs(std::ostream& out,
+                   const std::vector<Lit>& extra_units = {}) const override;
+  using SolverInterface::dump_dimacs;
+
+  /// Re-seeds every lane (lane i gets seed + i, lane 0 exempt — see
+  /// PortfolioOptions::seed).
+  void diversify(std::uint64_t seed) override;
+
+  /// Label of the lane that decided the most recent definitive probe
+  /// ("cdcl#1"); empty before the first decided probe.
+  std::string winner() const;
+
+  /// Losing-lane interruptions/skips accumulated by this instance.
+  std::int64_t lane_cancellations() const;
+
+  std::int32_t num_lanes() const;
+
+ private:
+  struct Lane;
+  struct Shared;
+  void lane_main(std::int32_t index);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<Shared> shared_;
+  std::int64_t solve_calls_ = 0;
+  std::int32_t last_winner_ = 0;  // lane index; model reads go here
+  bool ever_won_ = false;
+};
+
+}  // namespace qfto::sat

@@ -11,6 +11,19 @@ namespace qfto::sat {
 
 const std::vector<Lit> Solver::kNoAssumptions;
 
+namespace {
+
+/// SplitMix64 finalizer — the per-variable hash behind diversify(). Local
+/// so the solver stays dependency-free.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 std::int32_t Solver::new_var() {
   const std::int32_t v = num_vars();
   assign_.push_back(kUndef);
@@ -20,7 +33,29 @@ std::int32_t Solver::new_var() {
   activity_.push_back(0.0);
   watches_.emplace_back();
   watches_.emplace_back();
+  if (diversify_seed_ != 0) {
+    const std::uint64_t h = mix64(diversify_seed_ ^ static_cast<std::uint64_t>(v));
+    phase_.back() = static_cast<std::uint8_t>(h & 1);
+    // Sub-unit jitter: breaks activity ties between lanes without ever
+    // outranking a genuinely bumped variable.
+    activity_.back() = static_cast<double>(h >> 40) * 1e-9;
+  }
   return v;
+}
+
+void Solver::diversify(std::uint64_t seed) {
+  diversify_seed_ = seed;
+  for (std::int32_t v = 0; v < num_vars(); ++v) {
+    if (seed == 0) {
+      phase_[v] = 0;
+      activity_[v] = 0.0;
+      continue;
+    }
+    const std::uint64_t h = mix64(seed ^ static_cast<std::uint64_t>(v));
+    phase_[v] = static_cast<std::uint8_t>(h & 1);
+    activity_[v] = static_cast<double>(h >> 40) * 1e-9;
+  }
+  rebuild_order();
 }
 
 void Solver::add_clause(std::vector<Lit> lits) {
@@ -309,7 +344,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
   Deadline deadline(budget_seconds);
   const auto out_of_time = [&]() {
     return (cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
-           deadline.expired();
+           (terminate_ && terminate_()) || deadline.expired();
   };
   if (out_of_time()) return Result::kTimeout;
   if (QFTO_FAULT_POINT("sat.budget.exhaust")) return Result::kTimeout;

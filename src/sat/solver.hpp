@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/timer.hpp"
@@ -57,6 +58,21 @@ class Solver final : public SolverInterface {
   void dump_dimacs(std::ostream& out,
                    const std::vector<Lit>& extra_units = {}) const override;
   using SolverInterface::dump_dimacs;
+
+  /// IPASIR-style cooperative interrupt (the hook the in-tree IPASIR stub
+  /// rides): when set, polled at the same cadence as the cancel flag, and a
+  /// true return aborts the running solve() with kTimeout. Replaces any
+  /// previous hook; pass {} to clear. Not thread-safe against a running
+  /// solve — install it between calls, like IPASIR prescribes.
+  void set_terminate(std::function<bool()> hook) {
+    terminate_ = std::move(hook);
+  }
+
+  /// Seeds per-variable phase/activity jitter so portfolio lanes explore
+  /// the space in different orders; applies to existing variables and, via
+  /// the stored seed, to every variable created later. Seed 0 restores the
+  /// deterministic default (all-false phases, zero activity).
+  void diversify(std::uint64_t seed) override;
 
   std::int64_t num_conflicts() const { return conflicts_; }
   std::int64_t num_decisions() const { return decisions_; }
@@ -107,6 +123,8 @@ class Solver final : public SolverInterface {
   std::int64_t propagations_ = 0;
   std::int64_t restarts_ = 0;
   std::int64_t solve_calls_ = 0;
+  std::function<bool()> terminate_;
+  std::uint64_t diversify_seed_ = 0;
 
   // Binary-heap order on activity, rebuilt lazily (simple and adequate for
   // the instance sizes SATMAP reaches before TLE).

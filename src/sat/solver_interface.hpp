@@ -106,6 +106,14 @@ class SolverInterface {
   /// Cumulative counters across all solve() calls on this instance.
   virtual SolverStats stats() const = 0;
 
+  /// Portfolio hook: perturb heuristic state (branching order, saved
+  /// phases) deterministically from `seed` so racing lanes explore the
+  /// search space in different orders. Never changes verdicts or the set of
+  /// models — only which one a kSat call lands on first. Backends without a
+  /// useful notion of it (dpll's fixed order, external IPASIR solvers)
+  /// inherit this no-op.
+  virtual void diversify(std::uint64_t /*seed*/) {}
+
   /// Debug hook: writes the accumulated *original* instance (root-level
   /// facts as units, no learnt clauses) in DIMACS CNF, appending
   /// `extra_units` — typically the assumptions of the probe being debugged —

@@ -94,6 +94,17 @@ std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
   k += opts.satmap.solver;
   k += ',';
   k += opts.satmap.incremental ? '1' : '0';
+  k += ',';
+  k += opts.satmap.portfolio ? '1' : '0';
+  k += ',';
+  k += std::to_string(opts.satmap.lanes);
+  k += ',';
+  for (const std::string& backend : opts.satmap.portfolio_backends) {
+    k += backend;
+    k += '+';
+  }
+  k += ',';
+  k += opts.satmap.core_guided ? '1' : '0';
   k += "|verify=";
   k += opts.verify ? '1' : '0';
   k += static_cast<char>('0' + static_cast<int>(opts.verify_mode));

@@ -22,8 +22,14 @@
 // default true; general circuits are cached under a content fingerprint),
 // `verify` (bool, default true), `strict_ie`, `synced`, `trials`, `seed`,
 // `budget` (SATMAP seconds), `solver` (SAT backend registry key, default
-// "cdcl"), `sat_incremental` (bool, default true: one incremental SAT
-// instance per SATMAP run vs re-encoding per probe). Unknown fields are an
+// "cdcl"; IPASIR plugins loaded at startup answer to their registry name
+// here too), `sat_incremental` (bool, default true: one incremental SAT
+// instance per SATMAP run vs re-encoding per probe), `portfolio` (bool,
+// default false: race each SAT probe across diversified lanes, first
+// definitive verdict wins), `lanes` (integer in [1, 64], default 2; the
+// effective count is clamped to the machine's cores at run time),
+// `sat_core_guided` (bool, default true: bisecting SWAP descent with
+// learnt lower-bound clauses vs decrement-by-one). Unknown fields are an
 // error, so typos fail loudly instead of silently mapping with defaults.
 // String values accept the full JSON escape set including \uXXXX (surrogate
 // pairs encode as UTF-8).
@@ -39,12 +45,20 @@
 //    "cache":{"hits":...,"misses":...,"insertions":...,"evictions":...,
 //             "entries":...,"capacity":...},
 //    "sat":{"conflicts":...,"decisions":...,"restarts":...,"solve_calls":...},
+//    "portfolio":{"races":...,"lane_cancellations":...,
+//                 "wins":{"cdcl":...,...}},
 //    "map_seconds":{"count":...,"p50":...,"p99":...},
 //    "queue_seconds":{"count":...,"p50":...,"p99":...}}
 //
 // `cache` mirrors MappingService::cache_stats(); `sat` totals the solver
-// effort of every completed job; the latency quantiles come from streaming
-// histograms (~19% relative resolution, see net::LatencyHistogram).
+// effort of every completed job; `portfolio` snapshots the process-wide
+// racing counters (sat::portfolio_counters()); the latency quantiles come
+// from streaming histograms (~19% relative resolution, see
+// net::LatencyHistogram).
+//
+// SAT-backed responses additionally carry sat_conflicts/sat_decisions/
+// sat_restarts/sat_solve_calls, plus "portfolio_winner" (the racing lane
+// that decided the run, e.g. "cdcl#1") when the request ran a portfolio.
 //
 // Responses stream in request order, each flushed as soon as its job
 // completes (jobs themselves run concurrently and may be reordered by

@@ -8,6 +8,7 @@
 // cross-thread cancel token, which is what the CI TSan leg locks in.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <sstream>
@@ -17,10 +18,34 @@
 
 #include "common/prng.hpp"
 #include "sat/cardinality.hpp"
+#include "sat/federation/ipasir_bridge.hpp"
 #include "sat/solver_interface.hpp"
 
 namespace qfto::sat {
 namespace {
+
+// Loads the in-tree IPASIR stub .so before INSTANTIATE_TEST_SUITE_P below
+// evaluates solver_backend_names(), so the dlopen'd backend runs the exact
+// same conformance battery as the built-ins. Static-initialization order is
+// top-to-bottom within this TU, which is the only ordering this relies on.
+#ifdef QFTO_IPASIR_STUB_PATH
+std::string& stub_load_error() {
+  static std::string error;
+  return error;
+}
+const std::string& stub_backend_name() {
+  static const std::string name = [] {
+    try {
+      return load_solver_plugin(QFTO_IPASIR_STUB_PATH);
+    } catch (const std::exception& e) {
+      stub_load_error() = e.what();
+      return std::string();
+    }
+  }();
+  return name;
+}
+const std::string& kStubLoaded = stub_backend_name();
+#endif
 
 class SatBackend : public ::testing::TestWithParam<std::string> {
  protected:
@@ -314,6 +339,44 @@ TEST(SatBackendRegistry, KnowsTheInTreeBackends) {
   EXPECT_GE(names.size(), 2u);
   EXPECT_THROW(make_solver("no-such-backend"), std::invalid_argument);
 }
+
+#ifdef QFTO_IPASIR_STUB_PATH
+TEST(IpasirPlugin, StubLoadsAndRegisters) {
+  ASSERT_EQ(stub_load_error(), "") << "dlopen/resolve failed";
+  ASSERT_FALSE(stub_backend_name().empty());
+  EXPECT_TRUE(has_solver_backend(stub_backend_name()));
+  // Name derives from the library stem with the "lib" prefix stripped.
+  EXPECT_EQ(stub_backend_name(), "qfto_ipasir_stub");
+}
+
+TEST(IpasirPlugin, ProvenanceReportsPathAndSignature) {
+  bool found = false;
+  for (const auto& row : backend_provenance()) {
+    if (row.name != stub_backend_name()) {
+      EXPECT_FALSE(row.plugin) << row.name << " is built in";
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(row.plugin);
+    EXPECT_EQ(row.path, QFTO_IPASIR_STUB_PATH);
+    EXPECT_EQ(row.signature, "qfto-cdcl-ipasir-stub-1.0");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IpasirPlugin, ReloadingTheSamePluginIsIdempotent) {
+  // A second load of an already-registered path must not crash or duplicate
+  // the backend; a fresh name for the same .so is a distinct registration.
+  EXPECT_EQ(load_solver_plugin(QFTO_IPASIR_STUB_PATH), stub_backend_name());
+  const auto names = solver_backend_names();
+  EXPECT_EQ(1, std::count(names.begin(), names.end(), stub_backend_name()));
+}
+
+TEST(IpasirPlugin, MissingLibraryFailsLoudly) {
+  EXPECT_THROW(load_solver_plugin("/no/such/libsolver.so"),
+               std::runtime_error);
+}
+#endif  // QFTO_IPASIR_STUB_PATH
 
 TEST(SatBackendRegistry, BackendsAgreeOnRandomInstances) {
   // Differential check near the 3-SAT phase transition (clause/var ≈ 4.26),
