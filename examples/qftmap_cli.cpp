@@ -9,12 +9,22 @@
 //   qftmap --arch satmap    --n 5   [--budget SECONDS] [--solver BACKEND]
 //                                   [--monolithic-sat] [--dump-cnf FILE.cnf]
 //   qftmap --arch sycamore  --input circuit.qasm
+//   qftmap --device examples/devices/grid9-noisy.json --input circuit.qasm
+//                                   [--objective fidelity]
 //   ... [--aqft K] [--cnot-basis] [--quiet]
 //
 // Every engine is selected by its registry name (`--list` enumerates them);
 // the pipeline builds the native coupling graph, maps, and verifies with the
 // static checker. Small instances are additionally simulated. Output can be
 // written as OpenQASM 2.0.
+//
+// `--device FILE.json` loads a calibrated device description
+// (arch/device_model.hpp documents the JSON schema): the routed engines map
+// onto its coupling graph, verification charges its latency table, and the
+// report gains the calibrated `log10 fidelity` line. Defaults `--arch` to
+// `sabre` — a device file, not a topology name, then selects the scenario.
+// `--objective fidelity` makes SABRE optimize expected log-success instead
+// of depth.
 //
 // `--input FILE.qasm` switches to general-circuit ingestion: the file is
 // parsed with from_qasm and routed onto the selected architecture through
@@ -59,6 +69,7 @@
 #include <string>
 #include <thread>
 
+#include "arch/device_model.hpp"
 #include "circuit/stats.hpp"
 #include "circuit/transforms.hpp"
 #include "common/fault.hpp"
@@ -77,12 +88,14 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --arch ENGINE (--n N | --m M | --input FILE.qasm) "
+      "[--device FILE.json] [--objective depth|fidelity] "
       "[--out FILE] [--strict-ie] "
       "[--synced] [--trials T] [--budget SECONDS] [--solver BACKEND] "
       "[--solver-plugin [NAME=]LIB.so] [--portfolio] [--lanes L] "
       "[--linear-descent] "
       "[--monolithic-sat] [--dump-cnf FILE] [--aqft K] [--cnot-basis] "
       "[--quiet]\n       %s --serve [--threads T] [--cache-entries N] "
+      "[--cache-ttl-seconds S] "
       "[--listen HOST:PORT] [--max-inflight N] [--max-pending N] "
       "[--drain-seconds S] [--cache-file FILE] [--faults SPEC]\n"
       "       %s --list | --list-solvers\n",
@@ -200,6 +213,10 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       service_opts.cache_capacity =
           static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--cache-ttl-seconds") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      service_opts.cache_ttl_seconds = std::atof(v);
     } else if (a == "--listen") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -242,6 +259,26 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       arch = v;
       if (arch == "heavyhex") arch = "heavy_hex";  // legacy spelling
+    } else if (a == "--device") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      try {
+        opts.device = std::make_shared<const DeviceModel>(
+            DeviceModel::load_file(v));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--device: %s\n", e.what());
+        return 2;
+      }
+    } else if (a == "--objective") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "depth") == 0) {
+        opts.objective = Objective::kDepth;
+      } else if (std::strcmp(v, "fidelity") == 0) {
+        opts.objective = Objective::kFidelity;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (a == "--n") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -358,6 +395,8 @@ int main(int argc, char** argv) {
     if (!cache_file.empty()) save_cache_file(service, cache_file);
     return rc;
   }
+  // A device file alone selects the scenario: route onto it with SABRE.
+  if (arch.empty() && opts.device) arch = "sabre";
   if (arch.empty()) return usage(argv[0]);
   if (n <= 0 && m > 0) n = m * m;  // square backends take --m for convenience
   // --input is the size authority for general circuits; mixing it with an
@@ -407,6 +446,14 @@ int main(int argc, char** argv) {
       }
       std::printf("backend        : %s (%d physical qubits)\n",
                   result.graph.name().c_str(), result.graph.num_qubits());
+      if (opts.device) {
+        std::printf("device         : %s (%d qubits, %zu edges, "
+                    "fingerprint %016llx)\n",
+                    opts.device->name().c_str(), opts.device->num_qubits(),
+                    opts.device->edges().size(),
+                    static_cast<unsigned long long>(
+                        opts.device->fingerprint()));
+      }
       if (result.n != result.requested_n) {
         std::printf("size           : requested %d, mapped native %d\n",
                     result.requested_n, result.n);
@@ -417,6 +464,8 @@ int main(int argc, char** argv) {
                       result.graph.num_qubits());
       std::printf("gates          : %s\n",
                   result.check.counts.to_string().c_str());
+      std::printf("log10 fidelity : %.4f%s\n", result.log10_fidelity,
+                  opts.device ? " (calibrated)" : "");
       std::printf("compile time   : %.4f s (+%.4f s verify)\n",
                   result.timings.map_seconds, result.timings.check_seconds);
       if (result.timings.sat.solve_calls > 0) {

@@ -103,13 +103,23 @@ void check_raw(const std::string& line) {
 const char* const kKeys[] = {"engine", "n",       "m",     "id",
                              "priority", "deadline", "cache", "verify",
                              "trials", "seed",    "metrics", "strict_ie",
-                             "bogus_key"};
+                             "device", "objective", "bogus_key"};
 const char* const kValues[] = {"\"lnn\"",  "\"lattice\"", "\"nosuch\"",
                                "1",        "4",           "9",
                                "0",        "-3",          "true",
                                "false",    "null",        "0.001",
                                "1e9",      "\"x\\\"y\"",  "[1,2]",
-                               "{}",       "\"\\u0041\""};
+                               "{}",       "\"\\u0041\"",
+                               // Device-description payloads: a loadable
+                               // inline document, a truncated one, and a
+                               // missing file — all must answer in-band.
+                               "\"{\\\"qubits\\\": 4, \\\"edges\\\": "
+                               "[{\\\"a\\\": 0, \\\"b\\\": 1}, {\\\"a\\\": 1, "
+                               "\\\"b\\\": 2}, {\\\"a\\\": 2, "
+                               "\\\"b\\\": 3}]}\"",
+                               "\"{\\\"qubits\\\": 4, \\\"edg\"",
+                               "\"/nonexistent/device.json\"",
+                               "\"fidelity\"", "\"depth\""};
 
 void check_structured(const std::uint8_t* data, std::size_t size) {
   std::string line = "{";

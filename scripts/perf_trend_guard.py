@@ -13,7 +13,10 @@ by more than the threshold. Guarded series:
   * BENCH_sat.json      — items_per_second of the satmap_portfolio/* family
     (SAT probes/s through the racing portfolio), with a per-guard threshold:
     a single Iterations(1) SAT search is far noisier than the throughput
-    families, so only halvings fail the gate.
+    families, so only halvings fail the gate;
+  * BENCH_aqft.json     — items_per_second of the fidelity_route/* families
+    (gates/s through SABRE's calibrated-device routing, depth and fidelity
+    objectives), with the same loose 0.50 threshold.
 
 A missing baseline directory/file or an empty intersection of benchmark names
 passes with a notice: the guard gates trends between comparable runs, it must
@@ -33,6 +36,9 @@ GUARDS = [
     ("BENCH_checker.json", ("verify_",), "verify throughput", None),
     ("BENCH_service.json", ("socket_",), "socket req/s", None),
     ("BENCH_sat.json", ("satmap_portfolio/",), "portfolio probes/s", 0.50),
+    # Calibrated-device routing: SABRE trial counts dominate and are noisy
+    # run to run, so like the SAT family only halvings fail the gate.
+    ("BENCH_aqft.json", ("fidelity_route/",), "fidelity-aware routing", 0.50),
 ]
 
 

@@ -1,0 +1,607 @@
+#include "arch/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/grid.hpp"
+#include "arch/heavy_hex.hpp"
+#include "arch/lattice_surgery.hpp"
+#include "arch/line.hpp"
+#include "arch/sycamore.hpp"
+#include "common/prng.hpp"
+
+namespace qfto {
+
+namespace {
+
+// ------------------------------------------------------- positioned parser --
+// Device files are nested JSON (arrays of edge objects), which the serve
+// protocol's flat parser cannot express — so the loader carries its own
+// small recursive-descent parser. It parses only the shapes the schema
+// needs (objects, arrays, strings, numbers), tracks the current line, and
+// positions every rejection the way from_qasm does: callers see
+// "device json line N: <what>" and can print it verbatim.
+
+class DeviceJsonParser {
+ public:
+  explicit DeviceJsonParser(std::string_view text, std::string where)
+      : p_(text.data()), end_(text.data() + text.size()),
+        where_(std::move(where)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(where_ + " line " + std::to_string(line_) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (p_ < end_) {
+      const char c = *p_;
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+      ++p_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return p_ >= end_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (p_ >= end_) fail("unexpected end of input");
+    return *p_;
+  }
+
+  void expect(char c, const char* what) {
+    if (peek() != c) {
+      fail(std::string("expected ") + what + ", got '" + *p_ + "'");
+    }
+    ++p_;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\n') fail("unterminated string");
+      if (c == '\\') {
+        if (p_ >= end_) fail("dangling escape");
+        const char esc = *p_++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported string escape");
+        }
+      }
+      out += c;
+    }
+    if (p_ >= end_) fail("unterminated string");
+    ++p_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    char buf[64];
+    std::size_t len = 0;
+    while (p_ + len < end_) {
+      const char c = p_[len];
+      const bool number_char = (c >= '0' && c <= '9') || c == '+' ||
+                               c == '-' || c == '.' || c == 'e' || c == 'E';
+      if (!number_char) break;
+      if (len + 1 >= sizeof(buf)) fail("number token too long");
+      buf[len] = c;
+      ++len;
+    }
+    if (len == 0) fail("expected a number");
+    buf[len] = '\0';
+    char* num_end = nullptr;
+    const double v = std::strtod(buf, &num_end);
+    if (num_end != buf + len) fail("malformed number");
+    if (!std::isfinite(v)) fail("non-finite number");
+    p_ += len;
+    return v;
+  }
+
+  /// Object walker: calls `on_key(key)` for each member; the callback must
+  /// consume the value. Enforces the {"k": v, ...} punctuation.
+  template <typename OnKey>
+  void parse_object(OnKey&& on_key) {
+    expect('{', "'{'");
+    if (peek() == '}') {
+      ++p_;
+      return;
+    }
+    for (;;) {
+      const std::string key = [&] {
+        skip_ws();
+        return parse_string();
+      }();
+      expect(':', "':'");
+      on_key(key);
+      const char c = peek();
+      if (c == ',') {
+        ++p_;
+        continue;
+      }
+      if (c == '}') {
+        ++p_;
+        return;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  /// Array walker: calls `on_element()` per element (which must consume it).
+  template <typename OnElement>
+  void parse_array(OnElement&& on_element) {
+    expect('[', "'['");
+    if (peek() == ']') {
+      ++p_;
+      return;
+    }
+    for (;;) {
+      on_element();
+      const char c = peek();
+      if (c == ',') {
+        ++p_;
+        continue;
+      }
+      if (c == ']') {
+        ++p_;
+        return;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::int32_t line() const { return line_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string where_;
+  std::int32_t line_ = 1;
+};
+
+/// Scalar-or-array field: broadcasts a scalar to all n slots, or requires
+/// exactly n array elements. `check` validates each value.
+template <typename Check>
+void parse_per_qubit(DeviceJsonParser& p, std::vector<double>& out,
+                     std::size_t n, const char* key, Check&& check) {
+  if (p.peek() == '[') {
+    std::size_t i = 0;
+    p.parse_array([&] {
+      const double v = p.parse_number();
+      check(v);
+      if (i >= n) p.fail(std::string("\"") + key + "\" array longer than n");
+      out[i++] = v;
+    });
+    if (i != n) {
+      p.fail(std::string("\"") + key + "\" array has " + std::to_string(i) +
+             " entries, expected " + std::to_string(n));
+    }
+  } else {
+    const double v = p.parse_number();
+    check(v);
+    std::fill(out.begin(), out.end(), v);
+  }
+}
+
+Cycle as_cycle(DeviceJsonParser& p, double v, const char* key) {
+  if (v < 1.0 || v > 1e6 || v != std::floor(v)) {
+    p.fail(std::string("\"") + key +
+           "\" must be an integral cycle count in [1, 1e6]");
+  }
+  return static_cast<Cycle>(v);
+}
+
+}  // namespace
+
+DeviceModel DeviceModel::from_json(std::string_view text) {
+  return [&] {
+    DeviceJsonParser p(text, "device json");
+    DeviceModel dev;
+    bool saw_qubits = false, saw_edges = false;
+    double error_1q = 1e-4, coherence = 2e4;
+    std::vector<double> error_1q_arr, coherence_arr;
+    bool error_1q_is_array = false, coherence_is_array = false;
+
+    p.parse_object([&](const std::string& key) {
+      if (key == "name") {
+        dev.name_ = p.parse_string();
+      } else if (key == "qubits") {
+        const double v = p.parse_number();
+        if (v < 1.0 || v > 16'777'216.0 || v != std::floor(v)) {
+          p.fail("\"qubits\" must be an integer in [1, 16777216]");
+        }
+        dev.num_qubits_ = static_cast<std::int32_t>(v);
+        saw_qubits = true;
+      } else if (key == "latency_1q") {
+        dev.latency_1q_ = as_cycle(p, p.parse_number(), "latency_1q");
+      } else if (key == "error_1q") {
+        // Deferred: the per-qubit array length check needs "qubits", which
+        // may appear later in the object.
+        error_1q_is_array = p.peek() == '[';
+        if (error_1q_is_array) {
+          p.parse_array([&] { error_1q_arr.push_back(p.parse_number()); });
+        } else {
+          error_1q = p.parse_number();
+        }
+      } else if (key == "coherence_cycles") {
+        coherence_is_array = p.peek() == '[';
+        if (coherence_is_array) {
+          p.parse_array([&] { coherence_arr.push_back(p.parse_number()); });
+        } else {
+          coherence = p.parse_number();
+        }
+      } else if (key == "edges") {
+        saw_edges = true;
+        p.parse_array([&] {
+          DeviceEdge e;
+          bool saw_a = false, saw_b = false, saw_swap = false;
+          p.parse_object([&](const std::string& ek) {
+            if (ek == "a" || ek == "b") {
+              const double v = p.parse_number();
+              if (v < 0.0 || v > 16'777'215.0 || v != std::floor(v)) {
+                p.fail("edge \"" + ek + "\" must be a qubit index");
+              }
+              (ek == "a" ? e.a : e.b) = static_cast<PhysicalQubit>(v);
+              (ek == "a" ? saw_a : saw_b) = true;
+            } else if (ek == "latency") {
+              e.latency = as_cycle(p, p.parse_number(), "latency");
+            } else if (ek == "swap_latency") {
+              e.swap_latency = as_cycle(p, p.parse_number(), "swap_latency");
+              saw_swap = true;
+            } else if (ek == "error") {
+              e.error_2q = p.parse_number();
+              if (!(e.error_2q >= 0.0 && e.error_2q < 1.0)) {
+                p.fail("edge \"error\" must be in [0, 1)");
+              }
+            } else {
+              p.fail("unknown edge field \"" + ek + "\"");
+            }
+          });
+          if (!saw_a || !saw_b) p.fail("edge needs \"a\" and \"b\"");
+          if (!saw_swap) e.swap_latency = 3 * e.latency;  // SWAP = 3 CNOTs
+          if (e.a == e.b) {
+            p.fail("edge (" + std::to_string(e.a) + ", " + std::to_string(e.b) +
+                   ") is a self-loop");
+          }
+          // Checked here, not just in finalize(), so the rejection carries
+          // the offending edge's line.
+          for (const DeviceEdge& prev : dev.edges_) {
+            if (edge_index_key(prev.a, prev.b) == edge_index_key(e.a, e.b)) {
+              p.fail("duplicate edge (" + std::to_string(e.a) + ", " +
+                     std::to_string(e.b) + ")");
+            }
+          }
+          dev.edges_.push_back(e);
+        });
+      } else {
+        // Typos fail loudly instead of silently calibrating with defaults —
+        // the serve protocol's unknown-field discipline.
+        p.fail("unknown field \"" + key + "\"");
+      }
+    });
+    if (!p.at_end()) p.fail("trailing content after device object");
+    if (!saw_qubits) p.fail("missing \"qubits\"");
+    if (!saw_edges || dev.edges_.empty()) {
+      p.fail("missing or empty \"edges\"");
+    }
+
+    const auto n = static_cast<std::size_t>(dev.num_qubits_);
+    const auto check_rate = [&](double v) {
+      if (!(v >= 0.0 && v < 1.0)) p.fail("\"error_1q\" must be in [0, 1)");
+    };
+    const auto check_coherence = [&](double v) {
+      if (!(v > 0.0)) p.fail("\"coherence_cycles\" must be > 0");
+    };
+    dev.qubits_.resize(n);
+    if (error_1q_is_array) {
+      if (error_1q_arr.size() != n) {
+        p.fail("\"error_1q\" array has " +
+               std::to_string(error_1q_arr.size()) + " entries, expected " +
+               std::to_string(n));
+      }
+      for (double v : error_1q_arr) check_rate(v);
+      for (std::size_t i = 0; i < n; ++i) dev.qubits_[i].error_1q = error_1q_arr[i];
+    } else {
+      check_rate(error_1q);
+      for (auto& q : dev.qubits_) q.error_1q = error_1q;
+    }
+    if (coherence_is_array) {
+      if (coherence_arr.size() != n) {
+        p.fail("\"coherence_cycles\" array has " +
+               std::to_string(coherence_arr.size()) + " entries, expected " +
+               std::to_string(n));
+      }
+      for (double v : coherence_arr) check_coherence(v);
+      for (std::size_t i = 0; i < n; ++i) {
+        dev.qubits_[i].coherence_cycles = coherence_arr[i];
+      }
+    } else {
+      check_coherence(coherence);
+      for (auto& q : dev.qubits_) q.coherence_cycles = coherence;
+    }
+
+    dev.finalize("device json");
+    return dev;
+  }();
+}
+
+DeviceModel DeviceModel::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("device file " + path + ": cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_json(text.str());
+  } catch (const std::invalid_argument& e) {
+    // Re-throw with the path in front so a multi-device operator log stays
+    // attributable; the positioned line stays intact.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void DeviceModel::finalize(const std::string& where) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument(where + ": " + what);
+  };
+  require(num_qubits_ >= 1, where + ": device has no qubits");
+  if (qubits_.size() != static_cast<std::size_t>(num_qubits_)) {
+    qubits_.resize(static_cast<std::size_t>(num_qubits_));
+  }
+  edge_index_.clear();
+  edge_index_.reserve(edges_.size());
+  classes_.clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const DeviceEdge& e = edges_[i];
+    if (e.a == e.b) {
+      fail("edge (" + std::to_string(e.a) + ", " + std::to_string(e.b) +
+           ") is a self-loop");
+    }
+    if (e.a < 0 || e.b < 0 || e.a >= num_qubits_ || e.b >= num_qubits_) {
+      fail("edge (" + std::to_string(e.a) + ", " + std::to_string(e.b) +
+           ") references a qubit past n=" + std::to_string(num_qubits_));
+    }
+    if (!edge_index_.emplace(edge_index_key(e.a, e.b), i).second) {
+      fail("duplicate edge (" + std::to_string(e.a) + ", " +
+           std::to_string(e.b) + ")");
+    }
+    const std::pair<Cycle, Cycle> cls{e.latency, e.swap_latency};
+    if (std::find(classes_.begin(), classes_.end(), cls) == classes_.end()) {
+      classes_.push_back(cls);
+    }
+  }
+  if (classes_.size() > kLinkTypeCount) {
+    fail("device carries " + std::to_string(classes_.size()) +
+         " distinct (latency, swap_latency) classes; at most " +
+         std::to_string(kLinkTypeCount) + " are supported");
+  }
+  std::sort(classes_.begin(), classes_.end());
+}
+
+double DeviceModel::edge_error(PhysicalQubit a, PhysicalQubit b,
+                               double fallback) const {
+  const auto it = edge_index_.find(edge_index_key(a, b));
+  return it == edge_index_.end() ? fallback : edges_[it->second].error_2q;
+}
+
+std::uint64_t DeviceModel::fingerprint() const {
+  // splitmix64-chained content hash (the Circuit::fingerprint discipline):
+  // every calibration value feeds the chain, so editing one error rate on
+  // one edge yields a different device identity — and a different cache key.
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^
+                    static_cast<std::uint64_t>(num_qubits_);
+  const auto mix = [&h](std::uint64_t v) {
+    h = SplitMix64(h ^ v).next();
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(latency_1q_));
+  for (const DeviceQubit& q : qubits_) {
+    mix_double(q.error_1q);
+    mix_double(q.coherence_cycles);
+  }
+  for (const DeviceEdge& e : edges_) {
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.a)) << 32) |
+        static_cast<std::uint32_t>(e.b));
+    mix(static_cast<std::uint64_t>(e.latency));
+    mix(static_cast<std::uint64_t>(e.swap_latency));
+    mix_double(e.error_2q);
+  }
+  return h;
+}
+
+CouplingGraph DeviceModel::build_graph() const {
+  CouplingGraph g(name_.empty() ? "device" : name_, num_qubits_);
+  for (const DeviceEdge& e : edges_) {
+    const auto cls = std::find(classes_.begin(), classes_.end(),
+                               std::pair<Cycle, Cycle>{e.latency,
+                                                       e.swap_latency}) -
+                     classes_.begin();
+    g.add_edge(e.a, e.b, static_cast<LinkType>(cls));
+  }
+  // No closed-form spec: irregular device graphs resolve distances through
+  // the oracle's LRU-budgeted BFS rows, which is exactly the generic path.
+  return g;
+}
+
+LatencyModel DeviceModel::resolve_latency(const CouplingGraph* g) const {
+  require(!classes_.empty(), "DeviceModel: finalize() not run (no edges)");
+  LatencyModel m;
+  m.set_cost(GateKind::kH, latency_1q_);
+  m.set_cost(GateKind::kX, latency_1q_);
+  m.set_cost(GateKind::kRz, latency_1q_);
+  if (classes_.size() == 1) {
+    // Uniform device: no cost varies by link, so the hot path keeps its
+    // probe-free table load (and no graph binding is needed).
+    m.set_cost(GateKind::kCnot, classes_[0].first);
+    m.set_cost(GateKind::kCPhase, classes_[0].first);
+    m.set_cost(GateKind::kSwap, classes_[0].second);
+    return m;
+  }
+  require(g != nullptr,
+          "DeviceModel::latency_model(): device has link-dependent costs; "
+          "pass the graph");
+  m.bind(*g);
+  // Non-edge gates (lenient baseline evaluation) charge the worst class, the
+  // same pessimistic convention LatencyModel::lattice uses: first fill every
+  // link slot with the last (slowest) class, then overwrite the real ones.
+  m.set_cost(GateKind::kCnot, classes_.back().first);
+  m.set_cost(GateKind::kCPhase, classes_.back().first);
+  m.set_cost(GateKind::kSwap, classes_.back().second);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const auto link = static_cast<LinkType>(c);
+    m.set_cost(GateKind::kCnot, link, classes_[c].first);
+    m.set_cost(GateKind::kCPhase, link, classes_[c].first);
+    m.set_cost(GateKind::kSwap, link, classes_[c].second);
+  }
+  return m;
+}
+
+LatencyModel DeviceModel::latency_model(const CouplingGraph& g) const {
+  return resolve_latency(&g);
+}
+
+LatencyModel DeviceModel::latency_model() const {
+  return resolve_latency(nullptr);
+}
+
+double DeviceModel::mean_error_1q() const {
+  double sum = 0.0;
+  for (const DeviceQubit& q : qubits_) sum += q.error_1q;
+  return qubits_.empty() ? 0.0 : sum / static_cast<double>(qubits_.size());
+}
+
+double DeviceModel::mean_error_2q() const {
+  double sum = 0.0;
+  for (const DeviceEdge& e : edges_) sum += e.error_2q;
+  return edges_.empty() ? 0.0 : sum / static_cast<double>(edges_.size());
+}
+
+double DeviceModel::mean_coherence_cycles() const {
+  double sum = 0.0;
+  for (const DeviceQubit& q : qubits_) sum += q.coherence_cycles;
+  return qubits_.empty() ? 2e4 : sum / static_cast<double>(qubits_.size());
+}
+
+// ----------------------------------------------------------- builtin specs --
+
+DeviceModel DeviceModel::from_graph(std::string name, const CouplingGraph& g,
+                                    const Cycle latency[kLinkTypeCount],
+                                    const Cycle swap_latency[kLinkTypeCount]) {
+  DeviceModel dev;
+  dev.name_ = std::move(name);
+  dev.num_qubits_ = g.num_qubits();
+  dev.qubits_.resize(static_cast<std::size_t>(g.num_qubits()));
+  for (std::int32_t a = 0; a < g.num_qubits(); ++a) {
+    for (const PhysicalQubit b : g.neighbors(a)) {
+      if (b <= a) continue;  // undirected: take each edge once
+      DeviceEdge e;
+      e.a = a;
+      e.b = b;
+      const auto type = g.link_type(a, b).value_or(LinkType::kStandard);
+      e.latency = latency[static_cast<std::size_t>(type)];
+      e.swap_latency = swap_latency[static_cast<std::size_t>(type)];
+      dev.edges_.push_back(e);
+    }
+  }
+  dev.finalize("DeviceModel::from_graph(" + dev.name_ + ")");
+  return dev;
+}
+
+namespace {
+
+/// Smallest m >= lo with m*m >= n (the engines' snapping rule).
+std::int32_t grid_side_for(std::int32_t n, std::int32_t lo) {
+  std::int32_t m = lo;
+  while (static_cast<std::int64_t>(m) * m < n) ++m;
+  return m;
+}
+
+DeviceModel uniform_spec(std::string name, const CouplingGraph& g) {
+  const Cycle lat[kLinkTypeCount] = {1, 1, 1};
+  const Cycle swap[kLinkTypeCount] = {3, 3, 3};
+  return DeviceModel::from_graph(std::move(name), g, lat, swap);
+}
+
+}  // namespace
+
+DeviceModel DeviceModel::builtin(const std::string& topology,
+                                 std::int32_t n) {
+  require(n >= 1, "DeviceModel::builtin: n >= 1");
+  require(n <= 16'777'216, "DeviceModel::builtin: n too large");
+  if (topology == "line" || topology == "lnn") {
+    return uniform_spec("line-" + std::to_string(n), make_line(n));
+  }
+  if (topology == "grid") {
+    const std::int32_t m = grid_side_for(n, 2);
+    return uniform_spec("grid-" + std::to_string(m) + "x" + std::to_string(m),
+                        make_grid(m, m));
+  }
+  if (topology == "heavy_hex") {
+    const std::int32_t native = n <= 5 ? 5 : (n + 4) / 5 * 5;
+    return uniform_spec("heavy-hex-" + std::to_string(native),
+                        make_heavy_hex(heavy_hex_layout(native)));
+  }
+  if (topology == "sycamore") {
+    std::int32_t m = grid_side_for(n, 2);
+    if (m % 2 != 0) ++m;
+    return uniform_spec("sycamore-" + std::to_string(m), make_sycamore(m));
+  }
+  if (topology == "lattice") {
+    // The §2.3 weighted calibration: CNOT/CPHASE cost 2 on any link, SWAP
+    // costs 2 on fast (diagonal-tile) links and 3 CNOTs = 6 on axial ones.
+    const std::int32_t m = grid_side_for(n, 2);
+    const Cycle lat[kLinkTypeCount] = {kLsCnotDepth, kLsCnotDepth,
+                                       kLsCnotDepth};
+    const Cycle swap[kLinkTypeCount] = {kLsSlowSwapDepth, kLsFastSwapDepth,
+                                        kLsSlowSwapDepth};
+    return from_graph("lattice-" + std::to_string(m),
+                      make_lattice_surgery_rotated(m), lat, swap);
+  }
+  std::string known;
+  for (const std::string& name : builtin_names()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::invalid_argument("DeviceModel::builtin: unknown topology '" +
+                              topology + "' (known: " + known + ")");
+}
+
+std::vector<std::string> DeviceModel::builtin_names() {
+  return {"line", "grid", "heavy_hex", "sycamore", "lattice"};
+}
+
+const DeviceModel& DeviceModel::nisq_spec() {
+  // The smallest device exhibiting the default NISQ calibration: one
+  // uniform 1-cycle class, default error rates. nisq() resolves its cycle
+  // table from here instead of aliasing unit() — and the spec is
+  // deliberately unit-equivalent (SWAP included: the idealized NISQ
+  // abstraction charges one cycle per gate, unlike a generic device's
+  // 3-CNOT SWAP default), which LatencyModel.NisqUniform pins.
+  static const DeviceModel spec = [] {
+    const Cycle lat[kLinkTypeCount] = {1, 1, 1};
+    const Cycle swap[kLinkTypeCount] = {1, 1, 1};
+    return from_graph("nisq-default", make_line(2), lat, swap);
+  }();
+  return spec;
+}
+
+}  // namespace qfto

@@ -1,18 +1,58 @@
 #include "baseline/sabre.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "arch/device_model.hpp"
 #include "circuit/dag.hpp"
 #include "circuit/scheduler.hpp"
 #include "circuit/stats.hpp"
 #include "common/prng.hpp"
+#include "verify/fidelity.hpp"
 #include "verify/mapping_tracker.hpp"
 
 namespace qfto {
 
 namespace {
+
+/// Per-candidate edge-error penalty for the fidelity objective: the
+/// calibrated -log10(1-e2) of the SWAP's edge, normalized to (0, 1] by the
+/// device's worst edge, then scaled by fidelity_weight. The scoring loop
+/// multiplies this by a per-step tie scale that sits strictly below the
+/// smallest distance-score quantum, so the penalty steers among
+/// distance-equal swaps but can never outvote progress toward the front —
+/// a penalty that rivals the distance terms livelocks the router on
+/// low-error edges (zero-progress swaps win forever; the decay mechanism
+/// resets every few swaps and cannot catch up). Inactive (zero-cost, no
+/// device probes) unless the objective is on and a device is bound, so the
+/// depth path computes exactly what it always did.
+class EdgePenalty {
+ public:
+  explicit EdgePenalty(const SabreOptions& opts) {
+    if (!opts.fidelity_objective || opts.device == nullptr) return;
+    double worst = 0.0;
+    for (const DeviceEdge& e : opts.device->edges()) {
+      worst = std::max(worst, -std::log10(1.0 - e.error_2q));
+    }
+    if (worst <= 0.0) return;
+    device_ = opts.device;
+    inv_worst_ = 1.0 / worst;
+    weight_ = opts.fidelity_weight;
+  }
+
+  bool active() const { return device_ != nullptr; }
+
+  double operator()(PhysicalQubit a, PhysicalQubit b) const {
+    return weight_ * -std::log10(1.0 - device_->edge_error(a, b)) * inv_worst_;
+  }
+
+ private:
+  const DeviceModel* device_ = nullptr;
+  double inv_worst_ = 1.0;
+  double weight_ = 1.0;
+};
 
 struct SwapCandidate {
   PhysicalQubit a;
@@ -72,6 +112,7 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
                       Xoshiro256ss& rng, const SabreOptions& opts, bool emit) {
   const std::int32_t n = logical.num_qubits();
   DistView dist(g);
+  const EdgePenalty penalty(opts);
   MappingTracker map(initial, g.num_qubits());
 
   std::vector<std::int32_t> indeg(dag.size(), 0);
@@ -188,6 +229,22 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
           {map.physical_of(gate.q0), map.physical_of(gate.q1)});
     }
 
+    // Distance scores move in quanta of 1/|front| (and W/|ext| for the
+    // lookahead term); keeping the penalty below half the smallest quantum
+    // guarantees any swap that shortens a front pair beats any that does
+    // not, whatever the calibration says — convergence is the depth path's.
+    double tie_scale = 0.0;
+    if (penalty.active()) {
+      const double fq =
+          front_pairs.empty() ? 1.0
+                              : 1.0 / static_cast<double>(front_pairs.size());
+      const double eq =
+          (!ext_pairs.empty() && opts.extended_weight > 0.0)
+              ? opts.extended_weight / static_cast<double>(ext_pairs.size())
+              : fq;
+      tie_scale = 0.5 * std::min(fq, eq);
+    }
+
     double best = 1e300;
     best_set.clear();
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
@@ -213,8 +270,8 @@ PassResult route_pass(const Circuit& logical, const Dag& dag,
       const LogicalQubit lb = map.logical_at(sb);
       const double da = la == kInvalidQubit ? 1.0 : decay[la];
       const double db = lb == kInvalidQubit ? 1.0 : decay[lb];
-      const double score =
-          std::max(da, db) * (basic + opts.extended_weight * ext);
+      double score = std::max(da, db) * (basic + opts.extended_weight * ext);
+      if (penalty.active()) score += tie_scale * penalty(sa, sb);
       if (score < best - 1e-12) {
         best = score;
         best_set.assign(1, ci);
@@ -294,6 +351,48 @@ MappedCircuit sabre_route_single(const Circuit& logical, const CouplingGraph& g,
 MappedCircuit sabre_route(const Circuit& logical, const CouplingGraph& g,
                           const SabreOptions& opts) {
   require(opts.trials >= 1, "sabre: trials >= 1");
+  if (opts.fidelity_objective) {
+    // Fidelity objective: the trial winner is the route with the best
+    // expected log-success under the calibration (ties break on swap
+    // count). The device's cycle table drives the decoherence depth.
+    const LatencyModel lat = opts.device != nullptr
+                                 ? opts.device->latency_model(g)
+                                 : LatencyModel::unit();
+    std::optional<MappedCircuit> best;
+    double best_fid = 0.0;
+    std::int64_t best_swaps = 0;
+    const auto consider = [&](MappedCircuit mc) {
+      const double fid =
+          opts.device != nullptr
+              ? log10_fidelity(mc.circuit, *opts.device, lat)
+              : log10_fidelity(mc.circuit, NoiseModel{}, lat);
+      const std::int64_t swaps = count_gates(mc.circuit).swap;
+      if (!best || fid > best_fid + 1e-12 ||
+          (fid > best_fid - 1e-12 && swaps < best_swaps)) {
+        best = std::move(mc);
+        best_fid = fid;
+        best_swaps = swaps;
+      }
+    };
+    // Each trial contributes two routes: the unsteered one (exactly what
+    // the depth path would produce for this seed) and its penalty-steered
+    // twin. The winner pool therefore contains every route the depth
+    // objective considers, so the fidelity objective can never lose to it
+    // on expected log-success — steering only wins when the calibration
+    // says it actually helped.
+    SabreOptions plain = opts;
+    plain.fidelity_objective = false;
+    for (std::int32_t t = 0; t < opts.trials; ++t) {
+      consider(sabre_route_single(logical, g, opts.seed + 7919ull * t, plain));
+      try {
+        consider(sabre_route_single(logical, g, opts.seed + 7919ull * t, opts));
+      } catch (const std::logic_error&) {
+        // A steered trial that trips the swap cap is dropped; its unsteered
+        // twin above already covers the trial.
+      }
+    }
+    return std::move(*best);
+  }
   std::optional<MappedCircuit> best;
   Cycle best_depth = 0;
   std::int64_t best_swaps = 0;

@@ -14,6 +14,8 @@
 
 namespace qfto {
 
+class DeviceModel;
+
 struct SabreOptions {
   std::uint64_t seed = 1;
   std::int32_t trials = 5;            // independent random restarts
@@ -23,6 +25,18 @@ struct SabreOptions {
   double decay_delta = 0.001;
   std::int32_t decay_reset = 5;       // SWAPs between decay resets
   bool use_relaxed_dag = false;       // ablation: give SABRE commutativity
+
+  // Fidelity-aware cost mode (MapOptions::objective = fidelity). When set,
+  // candidate SWAPs additionally pay their edge's calibrated error cost
+  // (normalized -log10(1-e2), scaled by fidelity_weight) and the trial
+  // winner is the route with the best expected log-success instead of the
+  // smallest depth. `device` holds the calibration; when null the default
+  // NoiseModel rates apply (every edge equal, so only trial selection
+  // changes). The depth objective's path is untouched — with
+  // fidelity_objective false, routing is bit-identical to before.
+  bool fidelity_objective = false;
+  double fidelity_weight = 1.0;
+  const DeviceModel* device = nullptr;  // not owned; must outlive the route
 };
 
 /// Routes `logical` onto `g`. The circuit may contain any gate kinds; only

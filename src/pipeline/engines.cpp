@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "arch/device_model.hpp"
 #include "arch/grid.hpp"
 #include "arch/heavy_hex.hpp"
 #include "arch/lattice_surgery.hpp"
@@ -196,10 +197,17 @@ class LnnBaselineEngine final : public MapperEngine {
   }
 };
 
-/// Shared target-graph selection for the routed baselines: the native line,
-/// or the caller-supplied device graph (§7.2 gives baselines all links).
+/// Shared target-graph selection for the routed baselines: a calibrated
+/// DeviceModel when the request carries one, else the caller-supplied target
+/// graph (§7.2 gives baselines all links), else the native line.
 CouplingGraph routed_target(std::int32_t n, const MapOptions& opts,
                             const char* who) {
+  if (opts.device != nullptr) {
+    require(opts.device->num_qubits() >= n,
+            std::string(who) + ": device '" + opts.device->name() +
+                "' has fewer qubits than the circuit");
+    return opts.device->build_graph();
+  }
   if (opts.target == nullptr) return make_line(n);
   require(opts.target->num_qubits() >= n,
           std::string(who) + ": target graph smaller than the circuit");
@@ -212,12 +220,14 @@ class SabreEngine final : public MapperEngine {
   std::string description() const override {
     return "SABRE heuristic router (ASPLOS'19 baseline; line or target graph)";
   }
+  bool accepts_device() const override { return true; }
   CouplingGraph build_graph(std::int32_t n,
                             const MapOptions& opts) const override {
     return routed_target(n, opts, "sabre");
   }
   // map()/map_circuit() are the base-class defaults: route the circuit (or
-  // the QFT spec) with SABRE on the target graph.
+  // the QFT spec) with SABRE on the target graph; the base bridge forwards
+  // MapOptions::objective/device into SabreOptions for the fidelity mode.
 };
 
 class SatmapEngine final : public MapperEngine {
@@ -231,6 +241,10 @@ class SatmapEngine final : public MapperEngine {
     // legitimately differ run to run — never serve SATMAP from the cache.
     return false;
   }
+  /// Maps onto the device's graph and verifies under its latency table, but
+  /// the SAT search itself stays depth-optimal: MapOptions::objective is a
+  /// routing heuristic knob and SATMAP has no heuristic to steer.
+  bool accepts_device() const override { return true; }
   CouplingGraph build_graph(std::int32_t n,
                             const MapOptions& opts) const override {
     return routed_target(n, opts, "satmap");

@@ -3,9 +3,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "arch/device_model.hpp"
 #include "circuit/qft_spec.hpp"
 #include "common/timer.hpp"
 #include "verify/circuit_checker.hpp"
+#include "verify/fidelity.hpp"
 
 namespace qfto {
 
@@ -17,7 +19,12 @@ MappedCircuit MapperEngine::map(std::int32_t n, const CouplingGraph& g,
 MappedCircuit MapperEngine::map_circuit(const Circuit& logical,
                                         const CouplingGraph& g,
                                         const MapOptions& opts) const {
-  return sabre_route(logical, g, opts.sabre);
+  SabreOptions sopts = opts.sabre;
+  if (opts.objective == Objective::kFidelity) {
+    sopts.fidelity_objective = true;
+    sopts.device = opts.device.get();
+  }
+  return sabre_route(logical, g, sopts);
 }
 
 void MapperPipeline::register_engine(
@@ -116,6 +123,38 @@ void timed_map_stage(MapResult& result, const MapOptions& opts,
   result.timings.map_seconds = timer.seconds();
 }
 
+/// Pipeline-entry validation of MapOptions::device against the engine.
+void check_device(const MapperEngine& engine, const MapOptions& opts) {
+  if (opts.device == nullptr) return;
+  require(opts.target == nullptr,
+          "MapperPipeline: device and target are mutually exclusive");
+  require(engine.accepts_device(),
+          "MapperPipeline: engine '" + engine.name() +
+              "' owns its topology and does not accept a device model "
+              "(routed engines do: sabre, satmap)");
+}
+
+/// Verification charges the device's calibration table when the run carries
+/// one; the engine's native model otherwise.
+LatencyModel resolved_latency(const MapperEngine& engine,
+                              const MapOptions& opts, const CouplingGraph& g) {
+  return opts.device != nullptr ? opts.device->latency_model(g)
+                                : engine.latency_model(g);
+}
+
+/// Fills MapResult::log10_fidelity once the check passed: the per-edge
+/// calibrated walk under a device, the closed-form NoiseModel estimate over
+/// the checker's already-computed counts and depth otherwise.
+void fill_fidelity(MapResult& result, const MapOptions& opts) {
+  if (!result.check.ok) return;
+  result.log10_fidelity =
+      opts.device != nullptr
+          ? log10_fidelity(result.mapped.circuit, *opts.device,
+                           opts.device->latency_model(result.graph))
+          : log10_fidelity(result.check.counts, result.check.depth,
+                           NoiseModel{});
+}
+
 }  // namespace
 
 MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
@@ -125,6 +164,7 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   // multiples of five) comfortably inside int32 on hostile CLI input.
   require(n <= 16'777'216, "MapperPipeline::run: n too large");
   const MapperEngine& engine = at(engine_name);
+  check_device(engine, opts);
   const LiveGuard live(opts);
 
   MapResult result;
@@ -140,7 +180,7 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
   // never engage it, and the streaming fallback below picks up the check.
   verify::EmitAudit audit;
   const bool fused = opts.verify && opts.verify_mode == VerifyMode::kFused;
-  if (fused) audit.model = engine.latency_model(result.graph);
+  if (fused) audit.model = resolved_latency(engine, opts, result.graph);
 
   timed_map_stage(result, opts, [&](MapOptions map_opts) {
     if (fused) map_opts.audit = &audit;
@@ -155,7 +195,7 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
       result.check = std::move(audit.result);
     } else {
       WallTimer timer;
-      const LatencyModel latency = engine.latency_model(result.graph);
+      const LatencyModel latency = resolved_latency(engine, opts, result.graph);
       // Streaming path: one fused pass (adjacency/ordering/angle checks,
       // ASAP depth, gate counts) through IncrementalQftChecker. The replay
       // path is the pre-rewrite algorithm, kept for differential testing.
@@ -166,6 +206,7 @@ MapResult MapperPipeline::run(const std::string& engine_name, std::int32_t n,
               : check_qft_mapping(result.mapped, result.graph, latency);
       result.timings.check_seconds = timer.seconds();
     }
+    fill_fidelity(result, opts);
   }
   return result;
 }
@@ -177,6 +218,7 @@ MapResult MapperPipeline::run_circuit(const std::string& engine_name,
   require(n >= 1, "MapperPipeline::run_circuit: circuit has no qubits");
   require(n <= 16'777'216, "MapperPipeline::run_circuit: circuit too large");
   const MapperEngine& engine = at(engine_name);
+  check_device(engine, opts);
   const LiveGuard live(opts);
 
   MapResult result;
@@ -203,8 +245,10 @@ MapResult MapperPipeline::run_circuit(const std::string& engine_name,
     // (per-entry-point verification: only QFT requests can use the QFT-spec
     // streaming checker).
     result.check = check_circuit_mapping(result.mapped, logical, result.graph,
-                                         engine.latency_model(result.graph));
+                                         resolved_latency(engine, opts,
+                                                          result.graph));
     result.timings.check_seconds = timer.seconds();
+    fill_fidelity(result, opts);
   }
   return result;
 }

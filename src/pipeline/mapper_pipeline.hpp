@@ -31,6 +31,18 @@
 
 namespace qfto {
 
+class DeviceModel;
+
+/// What the mapper optimizes for (MapOptions::objective). Depth is the
+/// paper's metric and the default; fidelity scores candidate SWAPs by the
+/// calibrated expected log-success (SABRE's fidelity-aware cost mode) and
+/// picks the trial with the best log10_fidelity. Only the routed engines
+/// honour it — structured mappers are analytical constructions.
+enum class Objective : std::uint8_t {
+  kDepth = 0,
+  kFidelity = 1,
+};
+
 /// How MapResult::check is produced (MapOptions::verify_mode).
 enum class VerifyMode : std::uint8_t {
   /// Fused: the emitter audits as it emits (verify::EmitAudit) and the
@@ -58,8 +70,20 @@ struct MapOptions {
   /// Routed engines (`sabre`, `satmap`) run on this graph instead of their
   /// native line when set (§7.2 gives baselines the full link set). Must
   /// outlive the call. Structured mappers ignore it — they own their
-  /// topology.
+  /// topology. Mutually exclusive with `device`.
   const CouplingGraph* target = nullptr;
+
+  /// Calibrated device description (arch/device_model.hpp): routed engines
+  /// build their coupling graph from it, verification charges its latency
+  /// table, MapResult::log10_fidelity is computed against its error rates,
+  /// and the ResultCache folds its content fingerprint into the key (so
+  /// device-keyed results ARE cacheable, unlike raw `target` graphs).
+  /// shared_ptr because queued service jobs outlive the request that parsed
+  /// the device file. Engines that own their topology reject it.
+  std::shared_ptr<const DeviceModel> device;
+
+  /// Depth (default) or calibrated-fidelity routing; see Objective.
+  Objective objective = Objective::kDepth;
 
   /// Run the static checker and fill MapResult::check. On by default; turn
   /// off only for timing-only runs where verification is done elsewhere.
@@ -129,6 +153,11 @@ struct MapResult {
   CouplingGraph graph;   // coupling graph `mapped` is valid on
   QftCheckResult check;  // empty unless MapOptions::verify
   MapTimings timings;
+  /// log10 of the estimated success probability (verify/fidelity.hpp),
+  /// filled whenever verification passed: per-edge calibrated when the run
+  /// carried a DeviceModel, the closed-form NoiseModel estimate otherwise.
+  /// Always <= 0; higher is better.
+  double log10_fidelity = 0.0;
   /// True when the MappingService served this result from its ResultCache —
   /// bit-identical to a fresh run, with timings zeroed (no work was done).
   bool cache_hit = false;
@@ -152,6 +181,11 @@ class MapperEngine {
   /// ResultCache. The analytical mappers and seeded SABRE qualify; SATMAP
   /// does not (its TLE-vs-solved outcome depends on wall-clock load).
   virtual bool deterministic() const { return true; }
+
+  /// True when the engine maps onto a caller-supplied DeviceModel
+  /// (MapOptions::device). The routed baselines qualify; structured mappers
+  /// own their topology and the pipeline rejects a device for them.
+  virtual bool accepts_device() const { return false; }
 
   /// Smallest engine-feasible size >= n (sycamore/lattice round up to a
   /// square, heavy_hex to a multiple of five).

@@ -59,9 +59,9 @@ struct RunningJob {
 /// post-job bookkeeping must land on live memory.
 struct ServiceCore {
   ServiceCore(const MapperPipeline* p, std::size_t cache_capacity,
-              std::size_t cache_shards, double grace)
+              std::size_t cache_shards, double cache_ttl, double grace)
       : pipeline(p),
-        cache(cache_capacity, cache_shards),
+        cache(cache_capacity, cache_shards, cache_ttl),
         wedge_grace_seconds(grace),
         queue(&ServiceCore::pops_later) {}
 
@@ -392,7 +392,8 @@ MappingService::MappingService(Options options, const MapperPipeline& pipeline) 
   double grace = options.wedge_grace_seconds;
   if (!(grace > 0.0) || !std::isfinite(grace)) grace = 5.0;
   core_ = std::make_shared<detail::ServiceCore>(
-      &pipeline, options.cache_capacity, options.cache_shards, grace);
+      &pipeline, options.cache_capacity, options.cache_shards,
+      options.cache_ttl_seconds, grace);
   std::int32_t threads = options.num_threads;
   if (threads <= 0) {
     threads = static_cast<std::int32_t>(

@@ -109,6 +109,10 @@ class MappingService {
     /// Total ResultCache entries (0 disables caching).
     std::size_t cache_capacity = 1024;
     std::size_t cache_shards = 8;
+    /// TTL for cache entries in seconds (0 = never age out). Device-keyed
+    /// results can go stale when a device is recalibrated under the same
+    /// file name; see ResultCache.
+    double cache_ttl_seconds = 0.0;
     /// After the watchdog fires a running job's cancel token at its
     /// deadline, how long the worker gets to retire the job cooperatively
     /// before the watchdog declares it wedged, retires it as kExpired, and

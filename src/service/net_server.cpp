@@ -174,6 +174,7 @@ NetServer::Pending NetServer::make_entry(Connection& conn,
   metrics_.requests.fetch_add(1, std::memory_order_relaxed);
   Pending entry;
   ServeRequest req = parse_serve_request(payload);
+  metrics_.record_request(req);
   entry.id = req.id;
   if (!req.ok) {
     metrics_.parse_errors.fetch_add(1, std::memory_order_relaxed);

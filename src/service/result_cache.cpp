@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "arch/device_model.hpp"
 #include "common/fault.hpp"
 #include "qasm/qasm.hpp"
 
@@ -28,8 +30,9 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
+                         double ttl_seconds)
+    : capacity_(capacity), ttl_seconds_(ttl_seconds > 0.0 ? ttl_seconds : 0.0) {
   shards = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
                                                          1, capacity)));
   shards_.reserve(shards);
@@ -80,6 +83,10 @@ std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
   k += std::to_string(opts.sabre.decay_reset);
   k += ',';
   k += opts.sabre.use_relaxed_dag ? '1' : '0';
+  k += ',';
+  k += opts.sabre.fidelity_objective ? '1' : '0';
+  k += ',';
+  append_double(k, opts.sabre.fidelity_weight);
   k += "|satmap=";
   append_double(k, opts.satmap.time_budget_seconds);
   k += ',';
@@ -108,12 +115,25 @@ std::string ResultCache::key(const std::string& engine, std::int32_t native_n,
   k += "|verify=";
   k += opts.verify ? '1' : '0';
   k += static_cast<char>('0' + static_cast<int>(opts.verify_mode));
+  k += "|obj=";
+  k += static_cast<char>('0' + static_cast<int>(opts.objective));
+  if (opts.device != nullptr) {
+    // Content fingerprint, not identity: two devices with the same shape but
+    // different calibration produce different keys; relabeling (name only)
+    // does not fragment the cache.
+    k += "|dev=";
+    k += std::to_string(opts.device->fingerprint());
+  }
   return k;
 }
 
 bool ResultCache::cacheable(const MapperEngine& engine,
                             const MapOptions& opts) {
-  return engine.deterministic() && opts.target == nullptr;
+  // A raw target graph or a directly-injected SabreOptions::device pointer
+  // cannot be fingerprinted; the supported calibrated path is
+  // MapOptions::device, whose content hash joins the key.
+  return engine.deterministic() && opts.target == nullptr &&
+         opts.sabre.device == nullptr;
 }
 
 ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
@@ -129,27 +149,44 @@ std::shared_ptr<const MapResult> ResultCache::get(const std::string& key) {
     ++s.misses;
     return nullptr;
   }
+  if (ttl_seconds_ > 0.0) {
+    // Lazy expiry: age is checked on access, so a stale entry costs nothing
+    // until someone asks for it — and then costs exactly one re-map.
+    const double age = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() -
+                           it->second->inserted)
+                           .count();
+    if (age > ttl_seconds_) {
+      s.lru.erase(it->second);
+      s.index.erase(it);
+      ++s.expired;
+      ++s.misses;
+      return nullptr;
+    }
+  }
   ++s.hits;
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
-  return it->second->second;
+  return it->second->value;
 }
 
 void ResultCache::put(const std::string& key,
                       std::shared_ptr<const MapResult> value) {
   if (capacity_ == 0 || value == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->inserted = now;  // a refresh restarts the TTL clock
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  s.lru.emplace_front(key, std::move(value));
+  s.lru.push_front(Entry{key, std::move(value), now});
   s.index.emplace(key, s.lru.begin());
   ++s.insertions;
   while (s.lru.size() > s.capacity) {
-    s.index.erase(s.lru.back().first);
+    s.index.erase(s.lru.back().key);
     s.lru.pop_back();
     ++s.evictions;
   }
@@ -173,6 +210,7 @@ ResultCache::Stats ResultCache::stats() const {
     total.misses += sp->misses;
     total.insertions += sp->insertions;
     total.evictions += sp->evictions;
+    total.expired += sp->expired;
     total.entries += sp->lru.size();
   }
   return total;
@@ -189,7 +227,10 @@ ResultCache::Stats ResultCache::stats() const {
 
 namespace {
 
-constexpr const char* kCacheMagic = "qftmap-cache 1";
+// Version 2 added the per-entry "fid" record (MapResult::log10_fidelity).
+// A v1 file fails the magic check and the service starts cold — acceptable
+// for a cache, never silently wrong.
+constexpr const char* kCacheMagic = "qftmap-cache 2";
 
 void write_blob(std::ostream& out, const char* tag, const std::string& bytes) {
   out << tag << ' ' << bytes.size() << '\n' << bytes << '\n';
@@ -234,7 +275,7 @@ bool ResultCache::save(std::ostream& out) const {
       // LRU-first: load() re-inserts in file order, so the last entry
       // written (the MRU) becomes the MRU again.
       for (auto it = sp->lru.rbegin(); it != sp->lru.rend(); ++it) {
-        entries.push_back(*it);
+        entries.emplace_back(it->key, it->value);
       }
     }
     for (const auto& [key, result] : entries) {
@@ -266,6 +307,11 @@ bool ResultCache::save(std::ostream& out) const {
           << r.check.counts.swap << ' ' << r.check.counts.cnot << ' '
           << r.check.error.size() << '\n'
           << r.check.error << '\n';
+      {
+        char fid[40];
+        std::snprintf(fid, sizeof(fid), "%.17g", r.log10_fidelity);
+        out << "fid " << fid << '\n';
+      }
       write_blob(out, "qasm", to_qasm(r.mapped));
       out << "end\n";
     }
@@ -355,6 +401,13 @@ bool parse_cache_entry(std::istream& in, ParsedCacheEntry& out,
   if (!read_blob(in, err_len, check_error, err, "check error")) {
     return fail(err);
   }
+  // fidelity estimate
+  double fid = 0.0;
+  if (!read_line(in, line, err, "fid")) return fail(err);
+  if (std::sscanf(line.c_str(), "fid %lf", &fid) != 1 || fid > 0.0 ||
+      std::isnan(fid)) {
+    return fail("bad fid");
+  }
   // qasm payload
   if (!read_line(in, line, err, "qasm")) return fail(err);
   if (std::sscanf(line.c_str(), "qasm %zu", &len) != 1) {
@@ -383,6 +436,7 @@ bool parse_cache_entry(std::istream& in, ParsedCacheEntry& out,
   result->check.counts.cphase = cphase;
   result->check.counts.swap = swap;
   result->check.counts.cnot = cnot;
+  result->log10_fidelity = fid;
   result->timings = MapTimings{};
   result->cache_hit = true;
   out.key = std::move(key);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <list>
@@ -24,7 +25,13 @@ class ResultCache {
  public:
   /// `capacity` is the total entry budget across all shards (0 disables the
   /// cache: get() always misses, put() drops). `shards` is clamped to >= 1.
-  explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 8);
+  /// `ttl_seconds` > 0 bounds every entry's age: a get() older than the TTL
+  /// expires the entry lazily (counted in Stats::expired, served as a miss).
+  /// 0 disables aging — device-less topologies never go stale, but a
+  /// calibration-keyed entry outliving its device's recalibration window
+  /// should not be served forever.
+  explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 8,
+                       double ttl_seconds = 0.0);
 
   /// Canonical cache key: engine, *native* size, and every MapOptions field
   /// that shapes the result. Serving knobs (cancel, deadline_seconds,
@@ -38,8 +45,10 @@ class ResultCache {
                          const Circuit* circuit = nullptr);
 
   /// True when a request may be served from / stored into the cache: the
-  /// engine replays deterministically and no caller-owned target graph is
-  /// involved (a raw pointer cannot be fingerprinted safely).
+  /// engine replays deterministically and no caller-owned raw graph/device
+  /// pointer is involved (a raw pointer cannot be fingerprinted safely).
+  /// MapOptions::device *is* cacheable — its content fingerprint joins the
+  /// key, so identical shapes with different calibration never collide.
   static bool cacheable(const MapperEngine& engine, const MapOptions& opts);
 
   /// Hit: the cached result, promoted to most-recently-used. Miss: nullptr.
@@ -56,6 +65,8 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Entries dropped by TTL aging (each also counts as a miss).
+    std::uint64_t expired = 0;
     /// Malformed records skipped (not loaded) by load() over this cache's
     /// lifetime — one corrupt entry costs exactly that entry.
     std::uint64_t load_quarantined = 0;
@@ -67,6 +78,7 @@ class ResultCache {
   Stats stats() const;
 
   std::size_t capacity() const { return capacity_; }
+  double ttl_seconds() const { return ttl_seconds_; }
 
   /// Cross-process persistence (--cache-file): writes every resident entry
   /// in a line-oriented text format whose MapResult payload is the
@@ -95,6 +107,14 @@ class ResultCache {
   bool load(std::istream& in, std::string* error = nullptr);
 
  private:
+  /// One resident entry. `inserted` drives TTL aging; reloaded (load())
+  /// entries get a fresh timestamp — persistence does not preserve age.
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const MapResult> value;
+    std::chrono::steady_clock::time_point inserted;
+  };
+
   struct Shard {
     std::mutex mutex;
     /// This shard's slice of the global budget: base capacity/shards, the
@@ -103,17 +123,19 @@ class ResultCache {
     /// (the old ceil-rounded shared bound could overshoot by shards-1).
     std::size_t capacity = 0;
     // MRU at front; map values point into the list.
-    std::list<std::pair<std::string, std::shared_ptr<const MapResult>>> lru;
-    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;
   };
 
   Shard& shard_for(const std::string& key);
 
   std::size_t capacity_;
+  double ttl_seconds_ = 0.0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> load_quarantined_{0};
 };

@@ -1,5 +1,6 @@
 #include "service/serve.hpp"
 
+#include "arch/device_model.hpp"
 #include "qasm/qasm.hpp"
 #include "sat/federation/portfolio.hpp"
 
@@ -454,6 +455,41 @@ ServeRequest parse_serve_request(std::string_view line) {
         return req;
       }
       req.request.options.satmap.core_guided = value.flag;
+    } else if (key == "device") {
+      // Calibrated device description: a file path, or the device JSON
+      // itself inline when the string starts with '{' (after optional
+      // leading whitespace). Loaded right here so a malformed description
+      // answers in-band with the loader's positioned message instead of a
+      // late job failure.
+      if (value.kind != JsonValue::kString || value.str.empty()) {
+        req.error = "\"device\" must be a non-empty string (file path or "
+                    "inline device JSON)";
+        return req;
+      }
+      const std::size_t first = value.str.find_first_not_of(" \t\r\n");
+      try {
+        DeviceModel dm = (first != std::string::npos &&
+                          value.str[first] == '{')
+                             ? DeviceModel::from_json(value.str)
+                             : DeviceModel::load_file(value.str);
+        req.request.options.device =
+            std::make_shared<const DeviceModel>(std::move(dm));
+        req.device_loaded = true;
+      } catch (const std::invalid_argument& e) {
+        req.device_error = true;
+        req.error = std::string("bad \"device\": ") + e.what();
+        return req;
+      }
+    } else if (key == "objective") {
+      if (value.kind == JsonValue::kString && value.str == "depth") {
+        req.request.options.objective = Objective::kDepth;
+      } else if (value.kind == JsonValue::kString &&
+                 value.str == "fidelity") {
+        req.request.options.objective = Objective::kFidelity;
+      } else {
+        req.error = "\"objective\" must be \"depth\" or \"fidelity\"";
+        return req;
+      }
     } else if (key == "qasm") {
       // General-circuit ingestion: the request maps this OpenQASM 2.0
       // program (newlines arrive as \n escapes) instead of QFT(n). Parse
@@ -533,6 +569,8 @@ std::string serve_response_json(const std::string& id, const JobResult& out) {
     s += ",\"cphase\":" + std::to_string(r.check.counts.cphase);
     s += ",\"swap\":" + std::to_string(r.check.counts.swap);
     s += ",\"cnot\":" + std::to_string(r.check.counts.cnot);
+    s += ",\"log10_fidelity\":";
+    append_number(s, r.log10_fidelity);
   }
   if (r.timings.sat.solve_calls > 0) {
     // SAT-backed engines surface their search effort; analytical engines
@@ -570,6 +608,14 @@ std::string serve_inband_error(const std::string& id,
 
 // ------------------------------------------------------------- metrics --
 
+void ServeMetrics::record_request(const ServeRequest& req) {
+  if (req.device_error) {
+    device_load_errors.fetch_add(1, std::memory_order_relaxed);
+  } else if (req.device_loaded) {
+    device_loads.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void ServeMetrics::record_result(const JobResult& out) {
   queue_latency.record(out.queue_seconds);
   if (out.result != nullptr) {
@@ -606,9 +652,12 @@ std::string metrics_json(const MappingService& service,
   s += ",\"misses\":" + std::to_string(cache.misses);
   s += ",\"insertions\":" + std::to_string(cache.insertions);
   s += ",\"evictions\":" + std::to_string(cache.evictions);
+  s += ",\"expired\":" + std::to_string(cache.expired);
   s += ",\"load_quarantined\":" + std::to_string(cache.load_quarantined);
   s += ",\"entries\":" + std::to_string(cache.entries);
   s += ",\"capacity\":" + std::to_string(cache.capacity) + "}";
+  s += ",\"devices\":{\"loaded\":" + count(metrics.device_loads);
+  s += ",\"load_errors\":" + count(metrics.device_load_errors) + "}";
   s += ",\"sat\":{\"conflicts\":" + count(metrics.sat_conflicts);
   s += ",\"decisions\":" + count(metrics.sat_decisions);
   s += ",\"restarts\":" + count(metrics.sat_restarts);
@@ -705,6 +754,7 @@ int run_serve_loop(std::istream& in, std::ostream& out,
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     metrics.requests.fetch_add(1, std::memory_order_relaxed);
     ServeRequest req = parse_serve_request(line);
+    metrics.record_request(req);
     Pending entry;
     entry.id = req.id;
     if (!req.ok) {

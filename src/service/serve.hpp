@@ -29,7 +29,14 @@
 // definitive verdict wins), `lanes` (integer in [1, 64], default 2; the
 // effective count is clamped to the machine's cores at run time),
 // `sat_core_guided` (bool, default true: bisecting SWAP descent with
-// learnt lower-bound clauses vs decrement-by-one). Unknown fields are an
+// learnt lower-bound clauses vs decrement-by-one), `device` (a calibrated
+// device description — the path of a device JSON file, or the device JSON
+// itself inline when the string starts with '{'; loaded at parse time, so a
+// malformed file answers in-band with the loader's positioned message; the
+// routed engines map onto its graph, verification charges its latency
+// table, and the cache key carries its content fingerprint), `objective`
+// ("depth" | "fidelity": what SABRE optimizes — fidelity scores candidate
+// SWAPs by calibrated expected log-success). Unknown fields are an
 // error, so typos fail loudly instead of silently mapping with defaults.
 // String values accept the full JSON escape set including \uXXXX (surrogate
 // pairs encode as UTF-8).
@@ -43,7 +50,8 @@
 //    "requests":...,"responses":...,"shed":...,"parse_errors":...,
 //    "in_flight":...,
 //    "cache":{"hits":...,"misses":...,"insertions":...,"evictions":...,
-//             "entries":...,"capacity":...},
+//             "expired":...,"entries":...,"capacity":...},
+//    "devices":{"loaded":...,"load_errors":...},
 //    "sat":{"conflicts":...,"decisions":...,"restarts":...,"solve_calls":...},
 //    "portfolio":{"races":...,"lane_cancellations":...,
 //                 "wins":{"cdcl":...,...}},
@@ -66,8 +74,8 @@
 //
 //   {"id":1,"ok":true,"status":"ok","engine":"lattice","requested_n":100,
 //    "n":100,"physical":100,"depth":419,"h":100,"cphase":4950,"swap":4851,
-//    "cnot":0,"cache_hit":false,"map_seconds":...,"check_seconds":...,
-//    "queue_seconds":...}
+//    "cnot":0,"log10_fidelity":-21.7,"cache_hit":false,"map_seconds":...,
+//    "check_seconds":...,"queue_seconds":...}
 //   {"id":2,"ok":false,"status":"timeout","retryable":true,
 //    "error":"deadline exceeded ...","queue_seconds":...}
 //
@@ -111,6 +119,11 @@ namespace qfto {
 struct ServeRequest {
   bool ok = false;
   bool metrics = false;
+  /// The line carried a "device" field that loaded (device_loaded) or failed
+  /// the loader's validation (device_error, with the positioned message in
+  /// `error`). Both front-ends fold these into ServeMetrics.
+  bool device_loaded = false;
+  bool device_error = false;
   std::string error;
   std::string id = "null";
   BatchRequest request;
@@ -143,6 +156,13 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> shed{0};          // admission-control rejections
   std::atomic<std::uint64_t> parse_errors{0};  // malformed request lines
   std::atomic<std::int64_t> in_flight{0};      // submitted, not yet answered
+
+  // Device-description ingestion ("device" request field).
+  std::atomic<std::uint64_t> device_loads{0};        // loaded successfully
+  std::atomic<std::uint64_t> device_load_errors{0};  // rejected by the loader
+
+  /// Folds one parsed request's device-loading outcome into the counters.
+  void record_request(const ServeRequest& req);
 
   // Solver-effort totals over every completed job.
   std::atomic<std::uint64_t> sat_conflicts{0};

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "arch/device_model.hpp"
 #include "arch/line.hpp"
 #include "common/timer.hpp"
 #include "mapper/lnn_mapper.hpp"
@@ -915,6 +916,127 @@ TEST(Service, ConcurrentMixedLoadKeepsEveryJobAccounted) {
   }
   const ResultCache::Stats stats = service.cache_stats();
   EXPECT_GT(stats.hits, 0u) << "repeated requests must hit";
+}
+
+// ------------------------------------------------------- device requests --
+
+// A 4-qubit line device as the inline-JSON value of a "device" field (the
+// inner quotes are escaped because it rides inside a JSON string).
+const char* kInlineDevice =
+    R"("{\"qubits\": 4, \"edges\": [{\"a\": 0, \"b\": 1},)"
+    R"( {\"a\": 1, \"b\": 2}, {\"a\": 2, \"b\": 3}]}")";
+
+TEST(Serve, ParsesInlineDeviceAndObjective) {
+  const ServeRequest req = parse_serve_request(
+      std::string(R"({"id": 1, "engine": "sabre", "n": 4,)"
+                  R"( "objective": "fidelity", "device": )") +
+      kInlineDevice + "}");
+  ASSERT_TRUE(req.ok) << req.error;
+  EXPECT_TRUE(req.device_loaded);
+  ASSERT_NE(req.request.options.device, nullptr);
+  EXPECT_EQ(req.request.options.device->num_qubits(), 4);
+  EXPECT_EQ(req.request.options.objective, Objective::kFidelity);
+
+  const ServeRequest depth = parse_serve_request(
+      R"({"engine": "sabre", "n": 4, "objective": "depth"})");
+  ASSERT_TRUE(depth.ok) << depth.error;
+  EXPECT_EQ(depth.request.options.objective, Objective::kDepth);
+}
+
+TEST(Serve, DeviceLoadFailuresAnswerInBandWithThePositionedMessage) {
+  // Malformed inline document: the loader's positioned message comes back.
+  const ServeRequest bad = parse_serve_request(
+      R"({"id": 2, "engine": "sabre", "n": 4, "device": "{\"qubits\": 0}"})");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_TRUE(bad.device_error);
+  EXPECT_NE(bad.error.find("device json"), std::string::npos) << bad.error;
+  EXPECT_EQ(bad.id, "2") << "id survives rejection for the response";
+
+  // Missing file: same in-band path, the path named in the message.
+  const ServeRequest missing = parse_serve_request(
+      R"({"engine": "sabre", "n": 4, "device": "/nonexistent/dev.json"})");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_TRUE(missing.device_error);
+  EXPECT_NE(missing.error.find("/nonexistent/dev.json"), std::string::npos);
+
+  // Wrong types fail loudly.
+  EXPECT_FALSE(
+      parse_serve_request(R"({"engine": "sabre", "n": 4, "device": 3})").ok);
+  EXPECT_FALSE(parse_serve_request(
+                   R"({"engine": "sabre", "n": 4, "objective": "speed"})")
+                   .ok);
+  EXPECT_FALSE(parse_serve_request(
+                   R"({"engine": "sabre", "n": 4, "objective": true})")
+                   .ok);
+}
+
+TEST(Serve, DeviceRequestsMapCacheAndRecalibrationMisses) {
+  // Same request twice (one worker: the second is guaranteed to hit), then
+  // the same shape with one edge's error rate edited — a different
+  // fingerprint, which must miss.
+  const std::string tail =
+      std::string(R"("engine": "sabre", "n": 4, "device": )") + kInlineDevice +
+      "}\n";
+  const std::string edited_tail =
+      std::string(R"("engine": "sabre", "n": 4, "device": )") +
+      R"("{\"qubits\": 4, \"edges\": [{\"a\": 0, \"b\": 1, \"error\": 0.01},)"
+      R"( {\"a\": 1, \"b\": 2}, {\"a\": 2, \"b\": 3}]}")" + "}\n";
+  std::istringstream in(std::string(R"({"id": 1, )") + tail +
+                        R"({"id": 2, )" + tail +
+                        R"({"id": 3, )" + edited_tail);
+  std::ostringstream out;
+  MappingService service{service_options(1)};
+  EXPECT_EQ(run_serve_loop(in, out, service), 0);
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u) << out.str();
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"log10_fidelity\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find("\"cache_hit\":false"), std::string::npos)
+      << "edited calibration must not alias the cached entry";
+}
+
+TEST(Serve, MetricsCountDeviceLoadsAndCacheExpiry) {
+  ServeMetrics metrics;
+  ServeRequest loaded;
+  loaded.ok = true;
+  loaded.device_loaded = true;
+  metrics.record_request(loaded);
+  ServeRequest failed;
+  failed.device_error = true;
+  metrics.record_request(failed);
+  metrics.record_request(ServeRequest{});  // no device involved
+  EXPECT_EQ(metrics.device_loads.load(), 1u);
+  EXPECT_EQ(metrics.device_load_errors.load(), 1u);
+
+  MappingService::Options options = service_options(1);
+  options.cache_ttl_seconds = 123.0;
+  MappingService service{options};
+  const std::string doc = metrics_json(service, metrics);
+  EXPECT_NE(doc.find("\"devices\":{\"loaded\":1,\"load_errors\":1}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"expired\":0"), std::string::npos) << doc;
+}
+
+TEST(Service, CacheTtlOptionAgesServedEntries) {
+  MappingService::Options options = service_options(1);
+  options.cache_ttl_seconds = 0.02;
+  MappingService service{options};
+  BatchRequest req;
+  req.engine = "lattice";
+  req.n = 9;
+  ASSERT_EQ(service.submit(req).wait().status, JobStatus::kDone);
+  std::this_thread::sleep_for(50ms);
+  const JobResult again = service.submit(req).wait();
+  ASSERT_EQ(again.status, JobStatus::kDone);
+  EXPECT_FALSE(again.result->cache_hit) << "the entry should have aged out";
+  EXPECT_GE(service.cache_stats().expired, 1u);
 }
 
 }  // namespace

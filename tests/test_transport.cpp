@@ -346,6 +346,7 @@ TEST(Transport, MetricsMatchCacheStatsOverBothProtocols) {
       ",\"misses\":" + std::to_string(stats.misses) +
       ",\"insertions\":" + std::to_string(stats.insertions) +
       ",\"evictions\":" + std::to_string(stats.evictions) +
+      ",\"expired\":" + std::to_string(stats.expired) +
       ",\"load_quarantined\":" + std::to_string(stats.load_quarantined) +
       ",\"entries\":" + std::to_string(stats.entries) +
       ",\"capacity\":" + std::to_string(stats.capacity) + "}";
